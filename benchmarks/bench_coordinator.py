@@ -1,0 +1,82 @@
+"""Section V-A3: Horovod control plane, centralized vs hierarchical.
+
+Paper claims to reproduce:
+
+* the centralized controller handles millions of messages per second at
+  scale; the tree reduces this to thousands, independent of scale;
+* no rank sends or receives more than r+1 messages per tensor;
+* radix choice in [2, 8] makes no measurable difference.
+"""
+import numpy as np
+import pytest
+
+from repro.comm import (
+    ReadinessSchedule,
+    centralized_negotiation,
+    hierarchical_negotiation,
+)
+from repro.perf import format_table
+
+TENSORS = 110  # "over a hundred allreduce operations per step"
+
+
+def test_controller_message_load(benchmark, emit):
+    def run():
+        rows = []
+        for ranks in (64, 512, 4096):
+            s = ReadinessSchedule.random(ranks, TENSORS, seed=ranks)
+            c = centralized_negotiation(s)
+            h = hierarchical_negotiation(s, radix=4)
+            rows.append((ranks, c.controller_load,
+                         int((h.messages_sent + h.messages_received).max())))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["ranks", "centralized busiest-rank msgs/step",
+         "hierarchical busiest-rank msgs/step"],
+        [[r, c, h] for r, c, h in rows],
+        title="Section V-A3 - control-plane load per step (110 tensors)"))
+    # Centralized grows linearly; hierarchical is flat.
+    assert rows[-1][1] > 50 * rows[0][1]
+    assert rows[-1][2] <= rows[0][2] * 1.01
+    # The headline ratio at scale: orders of magnitude.
+    assert rows[-1][1] / rows[-1][2] > 100
+
+
+def test_per_tensor_bound(benchmark, emit):
+    def run():
+        results = {}
+        for radix in (2, 4, 8):
+            s = ReadinessSchedule.random(1024, TENSORS, seed=radix)
+            h = hierarchical_negotiation(s, radix=radix)
+            results[radix] = h.per_tensor_max_messages()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["radix", "max msgs/rank/tensor", "bound 2(r+1)"],
+        [[r, f"{v:.1f}", 2 * (r + 1)] for r, v in results.items()],
+        title="Section V-A3 - per-tensor message bound"))
+    for radix, v in results.items():
+        assert v <= 2 * (radix + 1)
+
+
+def test_radix_insensitivity(benchmark, emit):
+    def run():
+        s = ReadinessSchedule.random(512, TENSORS, seed=9)
+        orders = {}
+        decisions = {}
+        for radix in (2, 4, 8):
+            h = hierarchical_negotiation(s, radix=radix, hop_latency=5e-6)
+            orders[radix] = h.order
+            decisions[radix] = h.decision_times[-1]
+        return orders, decisions
+
+    orders, decisions = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Radix sweep (512 ranks): final-decision times "
+         + ", ".join(f"r={r}: {t*1e3:.3f} ms" for r, t in decisions.items())
+         + "\n(paper: no measurable difference for r in [2, 8])")
+    assert orders[2] == orders[4] == orders[8]
+    times = list(decisions.values())
+    assert max(times) - min(times) < 0.01 * max(times) + 1e-4

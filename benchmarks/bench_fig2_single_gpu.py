@@ -1,0 +1,45 @@
+"""Figure 2: single-GPU performance of both networks, both precisions.
+
+Regenerates the paper's table: operation count (TF/sample), training rate
+(samples/s), sustained TF/s and percent of peak for DeepLabv3+ and Tiramisu
+on V100 (FP32 + FP16) and the 4-channel Tiramisu on P100.
+"""
+import pytest
+
+from repro.core import paper_conv_example_flops
+from repro.perf import PAPER_FIG2, figure2_table, format_table
+
+
+def test_fig2_table(benchmark, emit):
+    rows = benchmark(figure2_table)
+    table_rows = []
+    for p in rows:
+        paper = PAPER_FIG2[(p.network, p.gpu, p.precision)]
+        table_rows.append([
+            p.network, p.gpu, p.precision, p.batch,
+            f"{p.tf_per_sample:.2f} ({paper[0]})",
+            f"{p.samples_per_second:.2f} ({paper[1]})",
+            f"{p.sustained_tf:.2f} ({paper[2]})",
+            f"{p.pct_peak:.1f} ({paper[3]})",
+        ])
+    emit(format_table(
+        ["network", "gpu", "prec", "batch", "TF/sample (paper)",
+         "samples/s (paper)", "TF/s (paper)", "% peak (paper)"],
+        table_rows,
+        title="Figure 2 - single GPU performance, measured (paper)",
+    ))
+    # Shape assertions: ordering of efficiency and rates must match the paper.
+    by = {(p.network, p.precision): p for p in rows}
+    assert by[("deeplabv3+", "fp32")].pct_peak > by[("tiramisu", "fp32")].pct_peak
+    assert by[("tiramisu", "fp16")].samples_per_second > \
+        by[("tiramisu", "fp32")].samples_per_second
+    for p in rows:
+        paper_rate = PAPER_FIG2[(p.network, p.gpu, p.precision)][1]
+        assert p.samples_per_second == pytest.approx(paper_rate, rel=0.30)
+
+
+def test_fig2_worked_flop_example(benchmark, emit):
+    flops = benchmark(paper_conv_example_flops)
+    emit(f"Section VI worked example: 3x3 conv 1152x768, 48->32 ch, batch 2\n"
+         f"  measured {flops/1e9:.1f} GFLOPs (paper 48.9)")
+    assert flops == pytest.approx(48.9e9, rel=0.01)

@@ -1,0 +1,41 @@
+"""Figure 3: kernel-category summary for both networks and precisions.
+
+Regenerates the "% time / % math / % mem" per-category table from the traced
+kernel inventory and the roofline model.
+"""
+import pytest
+
+from repro.perf import PAPER_CATEGORY_TIME_PCT, format_table, kernel_breakdown
+
+CONFIGS = [("tiramisu", "fp32"), ("tiramisu", "fp16"),
+           ("deeplabv3+", "fp32"), ("deeplabv3+", "fp16")]
+
+
+@pytest.mark.parametrize("network,precision", CONFIGS)
+def test_fig3_category_shares(benchmark, emit, network, precision):
+    table = benchmark.pedantic(kernel_breakdown, args=(network, precision),
+                               rounds=1, iterations=1)
+    paper = PAPER_CATEGORY_TIME_PCT[(network, precision)]
+    pct = table.time_pct()
+    rows = []
+    for row in table.rows:
+        rows.append([
+            row.category, row.kernels,
+            f"{row.time_s*1e3:.1f}",
+            f"{row.flops/1e12:.2f}",
+            f"{row.bytes/1e9:.1f}",
+            f"{pct[row.category]:.1f} ({paper.get(row.category, 0.0)})",
+            f"{row.pct_math_peak:.1f}",
+            f"{row.pct_mem_peak:.1f}",
+        ])
+    emit(format_table(
+        ["category", "#kern", "time ms", "math TF", "mem GB",
+         "% time (paper)", "% math", "% mem"],
+        rows,
+        title=f"Figure 3 - {network} {precision.upper()} kernel categories",
+    ))
+    # Shape: backward convs are the biggest bucket, as in every paper column.
+    assert table.dominant_category() == "conv_bwd"
+    conv_share = pct.get("conv_fwd", 0) + pct.get("conv_bwd", 0)
+    paper_conv = paper["conv_fwd"] + paper["conv_bwd"]
+    assert conv_share == pytest.approx(paper_conv, abs=25.0)

@@ -1,0 +1,74 @@
+"""Figure 4: weak-scaling curves on Summit and Piz Daint.
+
+Regenerates images/s and sustained PF/s against GPU count for (a) Tiramisu
+(Piz Daint FP32; Summit FP32/FP16) and (b) DeepLabv3+ (Summit FP32/FP16,
+lag 0 and lag 1), and checks the paper's headline anchors:
+
+* Piz Daint, 5300 P100s: 21.0 PF/s sustained, 79.0% efficiency
+* Summit, 27360 V100s, DeepLabv3+ FP32: 325.8 PF/s, 90.7%
+* Summit, 27360 V100s, DeepLabv3+ FP16: 999.0 PF/s sustained, 90.7%
+"""
+import pytest
+
+from repro.perf import PAPER_SCALING_ANCHORS, format_table, weak_scaling_curve
+
+SUMMIT_COUNTS = [1, 6, 48, 384, 1536, 6144, 12288, 24576, 27360]
+DAINT_COUNTS = [1, 64, 256, 1024, 2048, 4096, 5300]
+
+
+def _series(emit, title, network, system, precision, lag, counts):
+    pts = weak_scaling_curve(network, system, precision, lag=lag,
+                             gpu_counts=counts)
+    rows = [[p.gpus, f"{p.images_per_second:.1f}",
+             f"{p.sustained_pflops:.2f}", f"{p.efficiency*100:.1f}"]
+            for p in pts]
+    emit(format_table(["GPUs", "images/s", "PF/s", "efficiency %"], rows,
+                      title=title))
+    return pts
+
+
+def test_fig4a_tiramisu(benchmark, emit):
+    def run():
+        return (
+            _series(emit, "Fig 4a - Tiramisu, Piz Daint FP32 (lag 0)",
+                    "tiramisu_4ch", "piz_daint", "fp32", 0, DAINT_COUNTS),
+            _series(emit, "Fig 4a - Tiramisu, Summit FP32 (lag 1)",
+                    "tiramisu", "summit", "fp32", 1, SUMMIT_COUNTS),
+            _series(emit, "Fig 4a - Tiramisu, Summit FP16 (lag 1)",
+                    "tiramisu", "summit", "fp16", 1, SUMMIT_COUNTS),
+        )
+
+    daint, s32, s16 = benchmark.pedantic(run, rounds=1, iterations=1)
+    gpus, eff, pf = PAPER_SCALING_ANCHORS[("tiramisu_4ch", "piz_daint", "fp32")]
+    last = daint[-1]
+    emit(f"Piz Daint anchor: measured {last.sustained_pflops:.1f} PF/s @ "
+         f"{last.efficiency*100:.1f}% (paper {pf} PF/s @ {eff}%)")
+    assert last.sustained_pflops == pytest.approx(pf, rel=0.2)
+    assert last.efficiency * 100 == pytest.approx(eff, abs=4.0)
+    # Summit Tiramisu: paper reports 176.8 / 492.2 PF/s at 4096 nodes.
+    assert s32[-2].sustained_pflops == pytest.approx(176.8, rel=0.35)
+    assert s16[-2].sustained_pflops == pytest.approx(492.2, rel=0.35)
+
+
+def test_fig4b_deeplab(benchmark, emit):
+    def run():
+        return (
+            _series(emit, "Fig 4b - DeepLabv3+, Summit FP32 (lag 1)",
+                    "deeplabv3+", "summit", "fp32", 1, SUMMIT_COUNTS),
+            _series(emit, "Fig 4b - DeepLabv3+, Summit FP16 lag 0",
+                    "deeplabv3+", "summit", "fp16", 0, SUMMIT_COUNTS),
+            _series(emit, "Fig 4b - DeepLabv3+, Summit FP16 lag 1",
+                    "deeplabv3+", "summit", "fp16", 1, SUMMIT_COUNTS),
+        )
+
+    s32, lag0, lag1 = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (net, sys_, prec), series in ((("deeplabv3+", "summit", "fp32"), s32),
+                                      (("deeplabv3+", "summit", "fp16"), lag1)):
+        gpus, eff, pf = PAPER_SCALING_ANCHORS[(net, sys_, prec)]
+        last = series[-1]
+        emit(f"Summit {prec} anchor: measured {last.sustained_pflops:.0f} PF/s "
+             f"@ {last.efficiency*100:.1f}% (paper {pf} PF/s @ {eff}%)")
+        assert last.sustained_pflops == pytest.approx(pf, rel=0.2)
+        assert last.efficiency * 100 == pytest.approx(eff, abs=3.0)
+    # "The results clearly indicate the effectiveness of the lagged scheme".
+    assert lag1[-1].efficiency > lag0[-1].efficiency

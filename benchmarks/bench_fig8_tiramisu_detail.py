@@ -1,0 +1,34 @@
+"""Figure 8: detailed Tiramisu kernel-category table (FP32 and FP16).
+
+Absolute per-category time (ms), math (TF) and memory traffic (GB) for one
+training step, compared against the paper's measured totals
+(FP32: 549.9 ms / 4.19 TF / 308.5 GB; FP16: 417.3 ms / 8.38 TF / 262.1 GB).
+"""
+import pytest
+
+from repro.perf import PAPER_DETAIL, format_table, kernel_breakdown
+
+
+@pytest.mark.parametrize("precision", ["fp32", "fp16"])
+def test_fig8_tiramisu_detail(benchmark, emit, precision):
+    table = benchmark.pedantic(kernel_breakdown, args=("tiramisu", precision),
+                               rounds=1, iterations=1)
+    paper_ms, paper_tf, paper_gb = PAPER_DETAIL[("tiramisu", precision)]
+    rows = [[r.category, r.kernels, f"{r.time_s*1e3:.1f}",
+             f"{r.flops/1e12:.2f}", f"{r.bytes/1e9:.1f}",
+             f"{100*r.time_s/table.total_time_s:.1f}"]
+            for r in table.rows]
+    rows.append(["TOTAL", sum(r.kernels for r in table.rows),
+                 f"{table.total_time_s*1e3:.1f} ({paper_ms})",
+                 f"{table.total_flops/1e12:.2f} ({paper_tf})",
+                 f"{table.total_bytes/1e9:.1f} ({paper_gb})", "100.0"])
+    emit(format_table(
+        ["category", "#kern", "time ms", "math TF", "mem GB", "% time"],
+        rows, title=f"Figure 8 - Tiramisu {precision.upper()} detail "
+                    f"(totals: measured (paper))"))
+    assert table.total_flops / 1e12 == pytest.approx(paper_tf, rel=0.2)
+    assert 0.5 < table.total_time_s * 1e3 / paper_ms < 2.0
+    if precision == "fp16":
+        # FP16 is faster per step despite twice the math (batch 2).
+        fp32 = kernel_breakdown("tiramisu", "fp32")
+        assert table.total_time_s / 2 < fp32.total_time_s

@@ -1,0 +1,34 @@
+"""Figure 9: detailed DeepLabv3+ kernel-category table (FP32 and FP16).
+
+Paper totals — FP32: 1215.9 ms / 14.41 TF / 220.9 GB; FP16: 817.3 ms /
+28.82 TF / 203.6 GB.
+"""
+import pytest
+
+from repro.perf import PAPER_DETAIL, format_table, kernel_breakdown
+
+
+@pytest.mark.parametrize("precision", ["fp32", "fp16"])
+def test_fig9_deeplab_detail(benchmark, emit, precision):
+    table = benchmark.pedantic(kernel_breakdown,
+                               args=("deeplabv3+", precision),
+                               rounds=1, iterations=1)
+    paper_ms, paper_tf, paper_gb = PAPER_DETAIL[("deeplabv3+", precision)]
+    rows = [[r.category, r.kernels, f"{r.time_s*1e3:.1f}",
+             f"{r.flops/1e12:.2f}", f"{r.bytes/1e9:.1f}",
+             f"{100*r.time_s/table.total_time_s:.1f}"]
+            for r in table.rows]
+    rows.append(["TOTAL", sum(r.kernels for r in table.rows),
+                 f"{table.total_time_s*1e3:.1f} ({paper_ms})",
+                 f"{table.total_flops/1e12:.2f} ({paper_tf})",
+                 f"{table.total_bytes/1e9:.1f} ({paper_gb})", "100.0"])
+    emit(format_table(
+        ["category", "#kern", "time ms", "math TF", "mem GB", "% time"],
+        rows, title=f"Figure 9 - DeepLabv3+ {precision.upper()} detail "
+                    f"(totals: measured (paper))"))
+    assert table.total_flops / 1e12 == pytest.approx(paper_tf, rel=0.2)
+    assert 0.5 < table.total_time_s * 1e3 / paper_ms < 2.0
+    # DeepLab convs run at much higher math efficiency than Tiramisu's
+    # (the paper's core single-GPU finding).
+    conv_rows = [r for r in table.rows if r.category == "conv_fwd"]
+    assert conv_rows[0].pct_math_peak > 30.0 or precision == "fp16"

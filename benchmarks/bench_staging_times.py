@@ -1,0 +1,97 @@
+"""Section V-A1: data-staging times and bandwidths.
+
+Paper numbers to reproduce:
+
+* naive staging at 1024 nodes: 10-20 minutes, each file read by ~23 nodes;
+* distributed staging: under 3 minutes at 1024 nodes, under 7 at 4500;
+* 8 reader threads: 1.79 -> 11.98 GB/s per node (6.7x);
+* single-GPU input demand 189 MB/s -> 1.16 TB/s at 1024 nodes -> 5.23 TB/s
+  full system, vs the GPFS design target of ~2.5 TB/s.
+"""
+import pytest
+
+from repro.climate import PAPER_DATASET
+from repro.comm import World
+from repro.hpc import SUMMIT
+from repro.io import plan_staging, scaled_read_bandwidth, stage_distributed
+from repro.perf import format_table
+
+FB = PAPER_DATASET.sample_bytes
+NF = PAPER_DATASET.num_samples
+
+
+def test_staging_time_table(benchmark, emit):
+    def run():
+        rows = []
+        for nodes in (256, 1024, 4500):
+            naive = plan_staging(SUMMIT, NF, FB, nodes, strategy="naive")
+            dist = plan_staging(SUMMIT, NF, FB, nodes, strategy="distributed")
+            rows.append((nodes, naive, dist))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for nodes, naive, dist in rows:
+        table.append([nodes,
+                      f"{naive.total_time_s/60:.1f}",
+                      f"{naive.replication_factor:.1f}",
+                      f"{dist.total_time_s/60:.2f}",
+                      f"{dist.fs_read_bytes/1e12:.2f}",
+                      f"{dist.redistribution_bytes/1e12:.1f}"])
+    emit(format_table(
+        ["nodes", "naive min", "FS reads/file", "distributed min",
+         "dist FS read TB", "dist IB moved TB"],
+        table,
+        title="Section V-A1 - staging strategies "
+              "(paper: naive 10-20 min @1024 w/ 23x re-read; "
+              "distributed <3 min @1024, <7 min @4500)"))
+    by_nodes = {n: (na, d) for n, na, d in rows}
+    naive1024, dist1024 = by_nodes[1024]
+    assert 10 * 60 < naive1024.total_time_s < 20 * 60
+    assert naive1024.replication_factor == pytest.approx(23, abs=4)
+    assert dist1024.total_time_s < 3 * 60
+    assert by_nodes[4500][1].total_time_s < 7 * 60
+
+
+def test_reader_thread_scaling(benchmark, emit):
+    bws = benchmark(lambda: [scaled_read_bandwidth(t, 1.79e9)
+                             for t in (1, 2, 4, 8)])
+    emit(format_table(
+        ["threads", "GB/s"],
+        [[t, f"{bw/1e9:.2f}"] for t, bw in zip((1, 2, 4, 8), bws)],
+        title="Section V-A1 - per-node read bandwidth vs reader threads "
+              "(paper: 1.79 -> 11.98 GB/s, 6.7x at 8 threads)"))
+    assert bws[-1] / bws[0] == pytest.approx(6.7, rel=0.02)
+
+
+def test_input_bandwidth_arithmetic(benchmark, emit):
+    def rates():
+        per_gpu = 189e6  # paper's Tiramisu figure, B/s per GPU
+        node = per_gpu * SUMMIT.node.gpus
+        at_1024 = node * 1024
+        full = node * SUMMIT.nodes
+        return per_gpu, node, at_1024, full
+
+    per_gpu, node, at_1024, full = benchmark(rates)
+    emit(f"Input demand: {per_gpu/1e6:.0f} MB/s per GPU -> "
+         f"{node/1e9:.2f} GB/s per node -> {at_1024/1e12:.2f} TB/s @1024 "
+         f"nodes -> {full/1e12:.2f} TB/s full system\n"
+         f"(paper: 189 MB/s, 1.14 GB/s, 1.16 TB/s, 5.23 TB/s; GPFS target "
+         f"{SUMMIT.filesystem.peak_read_bandwidth/1e12:.1f} TB/s)")
+    assert node == pytest.approx(1.14e9, rel=0.01)
+    assert at_1024 == pytest.approx(1.16e12, rel=0.01)
+    assert full == pytest.approx(5.23e12, rel=0.01)
+    # "more than twice the target performance of the GPFS file system"
+    assert full > 2 * SUMMIT.filesystem.peak_read_bandwidth
+
+
+def test_functional_distributed_staging(benchmark, emit):
+    def run():
+        w = World(12)
+        return stage_distributed(w, num_files=600, files_per_rank=120, seed=7)
+
+    staged, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(f"Functional staging protocol (12 ranks, 600 files, 120/rank): "
+         f"consistent={stats['consistent']}, "
+         f"requests={stats['total_requests']}, messages={stats['messages']}")
+    assert stats["consistent"]

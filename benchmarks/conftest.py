@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures, printing a
+paper-vs-measured comparison and saving it under ``benchmarks/out/`` so the
+numbers survive pytest's output capture.
+"""
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    # Fresh artifacts each session (emit appends within a session).
+    for stale in OUT_DIR.glob("*.txt"):
+        stale.unlink()
+    return OUT_DIR
+
+
+@pytest.fixture()
+def emit(report_dir, request):
+    """Print a report block and persist it to out/<test_module>.txt."""
+
+    def _emit(text: str):
+        print()
+        print(text)
+        path = report_dir / f"{request.module.__name__}.txt"
+        with open(path, "a") as fh:
+            fh.write(text + "\n\n")
+
+    return _emit

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Mixed-precision training with dynamic loss scaling (Sections V-B1, VII-A).
+
+Shows the FP16 machinery the paper relies on — half-precision working
+weights with FP32 masters, loss scaling with overflow back-off — and the
+class-weighting instability: inverse-frequency weights trip the scaler far
+more than inverse-sqrt weights.
+
+Run:  python examples/mixed_precision.py
+"""
+import numpy as np
+
+from repro.climate import ClimateDataset, Grid, class_frequencies
+from repro.core import TrainConfig, Trainer
+from repro.core.networks import Tiramisu, TiramisuConfig
+
+
+def make_model():
+    return Tiramisu(
+        TiramisuConfig(in_channels=4, base_filters=12, growth=6,
+                       down_layers=(2, 2), bottleneck_layers=2, kernel=3,
+                       dropout=0.0),
+        rng=np.random.default_rng(11),
+    )
+
+
+def run(dataset, freqs, weighting, loss_scale):
+    trainer = Trainer(make_model(), TrainConfig(
+        lr=0.05, optimizer="larc", precision="fp16", weighting=weighting,
+        loss_scale=loss_scale, dynamic_loss_scale=True), freqs)
+    rng = np.random.default_rng(4)
+    skipped = total = 0
+    losses = []
+    for _ in range(4):
+        for imgs, labs in dataset.batches(dataset.splits.train, 2, rng):
+            result = trainer.train_step(imgs, labs)
+            total += 1
+            skipped += result.skipped
+            if not result.skipped:
+                losses.append(result.loss)
+    return trainer, skipped, total, losses
+
+
+def main():
+    grid = Grid(16, 24)
+    dataset = ClimateDataset.synthesize(grid, num_samples=16, seed=9, channels=4)
+    freqs = class_frequencies(dataset.labels)
+
+    print("FP16 training with FP32 master weights and dynamic loss scaling\n")
+    for weighting in ("inverse_sqrt", "inverse"):
+        trainer, skipped, total, losses = run(dataset, freqs, weighting,
+                                              loss_scale=2.0**22)
+        conv = next(p for p in trainer.model.parameters() if p.data.ndim == 4)
+        print(f"weighting={weighting:13s}: {skipped}/{total} steps skipped "
+              f"(overflow), final loss {np.mean(losses[-3:]):.4f}, "
+              f"final loss scale 2^{np.log2(trainer.scaler.scale):.0f}")
+        print(f"   working dtype {conv.data.dtype}, master dtype "
+              f"{conv.master.dtype}")
+    print("\n(paper: inverse-frequency weights caused 'numerical stability "
+          "issues, especially with FP16 training'; inverse-sqrt is the fix)")
+
+
+if __name__ == "__main__":
+    main()

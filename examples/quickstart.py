@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: generate climate data, label it, train a segmentation net.
+
+Walks the whole pipeline of the paper at laptop scale in under a minute:
+
+1. synthesize CAM5-like snapshots with embedded cyclones and atmospheric
+   rivers;
+2. label them with the heuristic pipeline (TECA-style TC thresholds + IWV
+   floodfill for ARs);
+3. train a small Tiramisu with the weighted loss and LARC;
+4. evaluate IoU on the validation split.
+
+Run:  python examples/quickstart.py
+"""
+import numpy as np
+
+from repro.climate import CLASS_NAMES, ClimateDataset, Grid, class_frequencies
+from repro.core import TrainConfig, Trainer
+from repro.core.networks import Tiramisu, TiramisuConfig
+
+
+def main():
+    # 1-2. Data: 24 snapshots on a small grid, 8 physical channels.
+    grid = Grid(nlat=24, nlon=32)
+    print(f"Synthesizing {grid.shape} snapshots and labeling TCs/ARs ...")
+    dataset = ClimateDataset.synthesize(grid, num_samples=24, seed=0, channels=8)
+    freqs = class_frequencies(dataset.labels)
+    print("  class frequencies:",
+          {n: round(float(f), 4) for n, f in zip(CLASS_NAMES, freqs)})
+    print("  (paper: BG ~98.2%, AR ~1.7%, TC <0.1%)")
+
+    # 3. Model + trainer: small Tiramisu, inverse-sqrt weighted loss, LARC.
+    model = Tiramisu(
+        TiramisuConfig(in_channels=8, base_filters=16, growth=8,
+                       down_layers=(2, 2), bottleneck_layers=2, kernel=3,
+                       dropout=0.0),
+        rng=np.random.default_rng(42),
+    )
+    config = TrainConfig(lr=0.1, optimizer="larc", weighting="inverse_sqrt")
+    trainer = Trainer(model, config, freqs)
+    print(f"Training Tiramisu ({model.num_parameters():,} parameters) ...")
+
+    rng = np.random.default_rng(1)
+    for epoch in range(6):
+        losses = [trainer.train_step(x, y).loss
+                  for x, y in dataset.batches(dataset.splits.train, 2, rng)]
+        print(f"  epoch {epoch}: loss {np.mean(losses):.4f}")
+
+    # 4. Evaluate.
+    report = trainer.evaluate(
+        dataset.batches(dataset.splits.validation, 1, drop_last=False),
+        class_names=CLASS_NAMES,
+    )
+    print(f"Validation: mean IoU {report.mean_iou:.3f}, "
+          f"accuracy {report.accuracy:.3f}")
+    print("  per-class IoU:",
+          {k: (round(v, 3) if v == v else "n/a") for k, v in report.iou.items()})
+    print("(paper at full scale: Tiramisu 59% IoU, DeepLabv3+ 73% IoU)")
+
+
+if __name__ == "__main__":
+    main()

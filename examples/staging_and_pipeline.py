@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The I/O path, end to end (Sections V-A1 and V-A2).
+
+1. Writes a real on-disk dataset (one file per sample, the HDF5 layout).
+2. Runs the distributed staging protocol functionally over simulated MPI.
+3. Demonstrates the HDF5-lock effect with real reader threads: a shared
+   serialization gate (thread regime) vs private gates (the multiprocessing
+   fix).
+4. Simulates the prefetching input pipeline feeding a training loop.
+
+Run:  python examples/staging_and_pipeline.py
+"""
+import tempfile
+import numpy as np
+
+from repro.climate import Grid, SampleFileStore, SnapshotSynthesizer, make_labels
+from repro.comm import World
+from repro.io import PipelineSimulator, PrefetchPipeline, ThreadedReader, stage_distributed
+
+
+def build_store(root, grid, n):
+    store = SampleFileStore(root)
+    synth = SnapshotSynthesizer(grid)
+    for i in range(n):
+        snap = synth.generate(i)
+        store.write_sample(i, snap.to_array(), make_labels(snap))
+    store.write_manifest(grid, n)
+    return store
+
+
+def main():
+    grid = Grid(24, 32)
+    with tempfile.TemporaryDirectory() as tmp:
+        print("Writing 16-sample dataset (one file per sample) ...")
+        store = build_store(tmp, grid, 16)
+        manifest = store.read_manifest()
+        print(f"  {manifest['count']} files, "
+              f"{manifest['sample_file_bytes']/1e3:.0f} kB each\n")
+
+        print("Distributed staging protocol over simulated MPI (V-A1):")
+        world = World(4)
+        staged, stats = stage_distributed(world, num_files=16,
+                                          files_per_rank=8, seed=0)
+        print(f"  4 ranks x 8 files: consistent={stats['consistent']}, "
+              f"{stats['total_requests']} transfers over the fabric, "
+              f"{stats['messages']} messages\n")
+
+        print("Reader threads vs the HDF5 serialization gate (V-A2):")
+        for shared, label in ((True, "4 threads, shared gate (HDF5 regime)"),
+                              (False, "4 workers, private gates (processes)")):
+            reader = ThreadedReader(store, num_workers=4, shared_gate=shared)
+            _, result = reader.read_indices(list(range(16)))
+            print(f"  {label}: {result.samples_per_second:,.0f} samples/s, "
+                  f"lock wait {result.gate_wait_s*1e3:.2f} ms")
+
+        print("\nPrefetch pipeline (real threads) over the store:")
+        pipe = PrefetchPipeline(lambda i: store.read_sample(i),
+                                indices=list(range(16)), num_workers=4,
+                                prefetch_depth=8)
+        count = sum(1 for _ in pipe)
+        print(f"  delivered {count} samples in submission order\n")
+
+        print("Pipeline simulation: feeding DeepLabv3+ FP16 (0.3s steps):")
+        for label, workers, depth, serialized in (
+            ("no prefetch", 1, 0, False),
+            ("4 threads behind HDF5 lock", 4, 8, True),
+            ("4 worker processes", 4, 8, False),
+        ):
+            stats = PipelineSimulator(0.3, 0.7, workers, depth,
+                                      serialized_workers=serialized).run(50)
+            print(f"  {label:30s}: step {stats.achieved_step_time_s:.3f}s, "
+                  f"GPU idle {stats.gpu_idle_fraction*100:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

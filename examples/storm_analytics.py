@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Storm tracking and per-storm climate analytics (Section VIII-A).
+
+The paper's motivation for pixel-level masks: "we can now compute
+conditional precipitation, wind velocity profiles and power dissipation
+indices for individual storm systems."  This example:
+
+1. generates a temporally coherent snapshot sequence with advected cyclones;
+2. detects storms per frame (TECA thresholds) and stitches trajectories;
+3. computes per-storm statistics from the segmentation masks.
+
+Run:  python examples/storm_analytics.py
+"""
+import numpy as np
+
+from repro.climate import (
+    Grid,
+    SnapshotSynthesizer,
+    basin_summary,
+    cyclone_mask,
+    detect_cyclones,
+    generate_sequence,
+    radial_wind_profile,
+    storm_statistics,
+    track_cyclones,
+)
+
+
+def main():
+    grid = Grid(64, 96)
+    synth = SnapshotSynthesizer(grid, mean_cyclones=3.0, mean_rivers=1.0)
+    print("Generating a 6-frame (18-hour) sequence with advected storms ...")
+    snapshots, truth = generate_sequence(grid, steps=6, seed=4,
+                                         synthesizer=synth)
+    print(f"  {len(truth[0])} storms planted\n")
+
+    print("Detecting and tracking cyclones:")
+    per_frame = [detect_cyclones(s.fields, grid) for s in snapshots]
+    tracks = track_cyclones(per_frame, max_step_deg=5.0, min_duration=3)
+    for i, tr in enumerate(tracks):
+        lat0, lon0 = tr.positions[0]
+        lat1, lon1 = tr.positions[-1]
+        print(f"  track {i}: frames {tr.frames[0]}-{tr.frames[-1]}, "
+              f"({lat0:+.1f},{lon0:.1f}) -> ({lat1:+.1f},{lon1:.1f}), "
+              f"path {tr.displacement_deg(grid):.1f} deg")
+
+    print("\nPer-storm statistics from the final frame's masks:")
+    snap = snapshots[-1]
+    cands = detect_cyclones(snap.fields, grid)
+    mask = cyclone_mask(snap.fields, grid, cands)
+    stats = storm_statistics(snap.fields, mask, grid)
+    for s in stats:
+        print(f"  storm @({s.center_lat:+.1f},{s.center_lon:.1f}): "
+              f"area {s.area_km2/1e3:.0f} kkm2, min PSL {s.min_psl_hpa:.0f} hPa, "
+              f"max wind {s.max_wind_ms:.0f} m/s, "
+              f"cond. precip {s.mean_conditional_precip*3.6e6:.2f} mm/h, "
+              f"PDI {s.power_dissipation_index:.2e}")
+    print("\nBasin summary:", {k: (f"{v:.3g}" if isinstance(v, float) else v)
+                               for k, v in basin_summary(stats).items()})
+
+    if stats:
+        s = stats[0]
+        radii, profile = radial_wind_profile(snap.fields, grid,
+                                             s.center_lat, s.center_lon,
+                                             max_radius_deg=10.0, bins=8)
+        print("\nRadial wind profile of the first storm (850 hPa):")
+        for r, v in zip(radii, profile):
+            bar = "#" * int(v) if v == v else ""
+            print(f"  {r:5.2f} deg: {v:5.1f} m/s {bar}")
+
+
+if __name__ == "__main__":
+    main()

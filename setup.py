@@ -1,0 +1,5 @@
+"""Setup shim: lets ``pip install -e .`` work on offline machines without
+the ``wheel`` package (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,198 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Usage::
+
+    python -m repro.cli fig2               # single-GPU performance table
+    python -m repro.cli fig4 --system summit --network deeplabv3+ --precision fp16
+    python -m repro.cli fig5
+    python -m repro.cli flops
+    python -m repro.cli staging --nodes 1024
+    python -m repro.cli control-plane --ranks 4096
+    python -m repro.cli train --samples 16 --epochs 4
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fig2(args) -> int:
+    from .perf import PAPER_FIG2, figure2_table, format_table
+
+    rows = []
+    for p in figure2_table():
+        paper = PAPER_FIG2[(p.network, p.gpu, p.precision)]
+        rows.append([p.network, p.gpu, p.precision, p.batch,
+                     f"{p.tf_per_sample:.2f} ({paper[0]})",
+                     f"{p.samples_per_second:.2f} ({paper[1]})",
+                     f"{p.pct_peak:.1f} ({paper[3]})"])
+    print(format_table(
+        ["network", "gpu", "prec", "batch", "TF/sample (paper)",
+         "samples/s (paper)", "% peak (paper)"],
+        rows, title="Figure 2 - single GPU performance"))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from .perf import format_table, weak_scaling_curve
+
+    points = weak_scaling_curve(args.network, args.system, args.precision,
+                                lag=args.lag)
+    rows = [[p.gpus, f"{p.images_per_second:,.0f}",
+             f"{p.sustained_pflops:,.2f}", f"{p.efficiency*100:.1f}"]
+            for p in points]
+    print(format_table(["GPUs", "images/s", "PF/s", "eff %"], rows,
+                       title=f"Figure 4 - {args.network} on {args.system} "
+                             f"{args.precision} lag={args.lag}"))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from .perf import figure5_curves, format_table
+
+    rows = [[c.gpus, f"{c.local.images_per_second:.0f}",
+             f"{c.global_fs.images_per_second:.0f}",
+             f"{c.local.efficiency*100:.1f}", f"{c.global_fs.efficiency*100:.1f}"]
+            for c in figure5_curves()]
+    print(format_table(
+        ["GPUs", "img/s local", "img/s global", "eff% local", "eff% global"],
+        rows, title="Figure 5 - staged vs global file system (Piz Daint)"))
+    return 0
+
+
+def _cmd_flops(args) -> int:
+    from .core import network_flop_table
+    from .perf import format_table
+
+    rows = [[r.name, f"{r.tf_per_sample:.3f}", r.paper_tf_per_sample,
+             f"{r.ratio_to_paper:.2f}", f"{r.parameters:,}"]
+            for r in network_flop_table()]
+    print(format_table(["network", "TF/sample", "paper", "ratio", "params"],
+                       rows, title="Operation counts (Section VI trace)"))
+    return 0
+
+
+def _cmd_staging(args) -> int:
+    from .climate import PAPER_DATASET
+    from .hpc import SUMMIT
+    from .io import plan_staging
+    from .perf import format_table
+
+    rows = []
+    for strategy in ("naive", "distributed"):
+        r = plan_staging(SUMMIT, PAPER_DATASET.num_samples,
+                         PAPER_DATASET.sample_bytes, args.nodes,
+                         strategy=strategy)
+        rows.append([strategy, f"{r.total_time_s/60:.2f}",
+                     f"{r.replication_factor:.1f}",
+                     f"{r.fs_read_bytes/1e12:.2f}"])
+    print(format_table(["strategy", "minutes", "reads/file", "FS read TB"],
+                       rows, title=f"Staging at {args.nodes} Summit nodes"))
+    return 0
+
+
+def _cmd_control_plane(args) -> int:
+    from .comm import (ReadinessSchedule, centralized_negotiation,
+                       hierarchical_negotiation)
+    from .perf import format_table
+
+    s = ReadinessSchedule.random(args.ranks, args.tensors, seed=0)
+    c = centralized_negotiation(s)
+    h = hierarchical_negotiation(s, radix=args.radix)
+    rows = [
+        ["centralized", c.controller_load],
+        [f"hierarchical (r={args.radix})",
+         int((h.messages_sent + h.messages_received).max())],
+    ]
+    print(format_table(["control plane", "busiest-rank msgs/step"], rows,
+                       title=f"{args.ranks} ranks x {args.tensors} tensors "
+                             f"(orders identical: {c.order == h.order})"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .perf import render_summary
+
+    print(render_summary())
+    return 0
+
+
+def _cmd_train(args) -> int:
+    import numpy as np
+
+    from .climate import CLASS_NAMES, ClimateDataset, Grid, class_frequencies
+    from .core import TrainConfig, Trainer
+    from .core.networks import Tiramisu, TiramisuConfig
+
+    grid = Grid(args.grid, args.grid * 3 // 2)
+    dataset = ClimateDataset.synthesize(grid, num_samples=args.samples,
+                                        seed=args.seed, channels=8)
+    freqs = class_frequencies(dataset.labels)
+    model = Tiramisu(TiramisuConfig(in_channels=8, base_filters=16, growth=8,
+                                    down_layers=(2, 2), bottleneck_layers=2,
+                                    kernel=3, dropout=0.0),
+                     rng=np.random.default_rng(args.seed))
+    trainer = Trainer(model, TrainConfig(lr=args.lr, optimizer="larc"), freqs)
+    rng = np.random.default_rng(args.seed + 1)
+    for epoch in range(args.epochs):
+        losses = [trainer.train_step(x, y).loss
+                  for x, y in dataset.batches(dataset.splits.train, 2, rng)]
+        print(f"epoch {epoch}: loss {np.mean(losses):.4f}")
+    report = trainer.evaluate(
+        dataset.batches(dataset.splits.validation, 1, drop_last=False),
+        class_names=CLASS_NAMES)
+    print(f"validation mean IoU {report.mean_iou:.3f} "
+          f"(accuracy {report.accuracy:.3f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate experiments from the paper")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig2", help="single-GPU performance table").set_defaults(
+        fn=_cmd_fig2)
+
+    p4 = sub.add_parser("fig4", help="weak scaling curves")
+    p4.add_argument("--network", default="deeplabv3+",
+                    choices=["deeplabv3+", "tiramisu", "tiramisu_4ch"])
+    p4.add_argument("--system", default="summit",
+                    choices=["summit", "piz_daint"])
+    p4.add_argument("--precision", default="fp16", choices=["fp16", "fp32"])
+    p4.add_argument("--lag", type=int, default=1, choices=[0, 1])
+    p4.set_defaults(fn=_cmd_fig4)
+
+    sub.add_parser("fig5", help="staging vs global FS").set_defaults(fn=_cmd_fig5)
+    sub.add_parser("flops", help="operation counts").set_defaults(fn=_cmd_flops)
+
+    ps = sub.add_parser("staging", help="staging-time comparison")
+    ps.add_argument("--nodes", type=int, default=1024)
+    ps.set_defaults(fn=_cmd_staging)
+
+    pc = sub.add_parser("control-plane", help="Horovod negotiation loads")
+    pc.add_argument("--ranks", type=int, default=4096)
+    pc.add_argument("--tensors", type=int, default=110)
+    pc.add_argument("--radix", type=int, default=4)
+    pc.set_defaults(fn=_cmd_control_plane)
+
+    sub.add_parser("report", help="full paper-vs-measured summary").set_defaults(
+        fn=_cmd_report)
+
+    pt = sub.add_parser("train", help="train a small Tiramisu on synthetic data")
+    pt.add_argument("--samples", type=int, default=16)
+    pt.add_argument("--epochs", type=int, default=4)
+    pt.add_argument("--grid", type=int, default=24)
+    pt.add_argument("--lr", type=float, default=0.1)
+    pt.add_argument("--seed", type=int, default=0)
+    pt.set_defaults(fn=_cmd_train)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Equirectangular lat/lon grids for CAM5-style model output.
+
+The paper's dataset lives on a 0.25-degree grid of 1152 x 768 (lon x lat)
+points.  Synthetic data in tests and examples uses proportionally scaled
+grids; :data:`PAPER_GRID` is the full-resolution geometry used by the FLOP
+analysis and performance models.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Grid", "PAPER_GRID", "PAPER_CHANNELS", "CHANNEL_NAMES"]
+
+#: The 16 CAM5 variables the paper trains on ("water vapor, wind,
+#: precipitation, temperature, pressure, etc.", Section III-A2).  Names follow
+#: CAM5 output conventions.
+CHANNEL_NAMES = (
+    "TMQ",      # total (vertically integrated) precipitable water, kg/m^2
+    "U850",     # zonal wind at 850 hPa, m/s
+    "V850",     # meridional wind at 850 hPa, m/s
+    "UBOT",     # lowest-level zonal wind, m/s
+    "VBOT",     # lowest-level meridional wind, m/s
+    "QREFHT",   # reference-height specific humidity, kg/kg
+    "PS",       # surface pressure, Pa
+    "PSL",      # sea-level pressure, Pa
+    "T200",     # temperature at 200 hPa, K
+    "T500",     # temperature at 500 hPa, K
+    "PRECT",    # total precipitation rate, m/s
+    "TS",       # surface temperature, K
+    "TREFHT",   # reference-height temperature, K
+    "Z100",     # geopotential height at 100 hPa, m
+    "Z200",     # geopotential height at 200 hPa, m
+    "ZBOT",     # lowest-level geopotential height, m
+)
+
+PAPER_CHANNELS = len(CHANNEL_NAMES)
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A regular lat/lon grid.
+
+    ``nlat`` spans [-90, 90] degrees, ``nlon`` spans [0, 360) degrees.
+    Images are stored (lat, lon) = (H, W), matching the paper's 768 x 1152
+    spatial tensors (H=768, W=1152).
+    """
+
+    nlat: int
+    nlon: int
+
+    def __post_init__(self):
+        if self.nlat < 8 or self.nlon < 8:
+            raise ValueError(f"grid too small: {self.nlat} x {self.nlon}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nlat, self.nlon)
+
+    @property
+    def lats(self) -> np.ndarray:
+        """Cell-center latitudes in degrees, south to north."""
+        step = 180.0 / self.nlat
+        return -90.0 + step * (np.arange(self.nlat) + 0.5)
+
+    @property
+    def lons(self) -> np.ndarray:
+        """Cell-center longitudes in degrees, 0 to 360 (periodic)."""
+        step = 360.0 / self.nlon
+        return step * (np.arange(self.nlon) + 0.5)
+
+    @property
+    def deg_per_cell_lat(self) -> float:
+        return 180.0 / self.nlat
+
+    @property
+    def deg_per_cell_lon(self) -> float:
+        return 360.0 / self.nlon
+
+    def lat_index(self, lat_deg: float) -> int:
+        """Row index closest to a latitude."""
+        return int(np.clip(round((lat_deg + 90.0) / self.deg_per_cell_lat - 0.5),
+                           0, self.nlat - 1))
+
+    def lon_index(self, lon_deg: float) -> int:
+        """Column index closest to a longitude (wrapped to [0, 360))."""
+        return int(round((lon_deg % 360.0) / self.deg_per_cell_lon - 0.5)) % self.nlon
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lat2d, lon2d) arrays of shape (nlat, nlon)."""
+        return np.meshgrid(self.lats, self.lons, indexing="ij")
+
+    def angular_distance_deg(self, lat0: float, lon0: float) -> np.ndarray:
+        """Approximate angular distance (deg) of every cell from a point.
+
+        Uses a cos(lat)-corrected planar metric with periodic longitude —
+        adequate for the compact (<15 deg) structures we synthesize.
+        """
+        lat2d, lon2d = self.meshgrid()
+        dlon = np.abs(lon2d - lon0)
+        dlon = np.minimum(dlon, 360.0 - dlon)
+        dlon = dlon * np.cos(np.deg2rad(np.clip(lat2d, -80, 80)))
+        dlat = lat2d - lat0
+        return np.sqrt(dlat * dlat + dlon * dlon)
+
+
+#: The paper's 0.25-degree CAM5 grid: 1152 x 768 (W x H).
+PAPER_GRID = Grid(nlat=768, nlon=1152)

@@ -1,0 +1,70 @@
+"""Communication substrate: functional MPI, collectives, Horovod control."""
+from .coordinator import (
+    NegotiationResult,
+    ReadinessSchedule,
+    centralized_negotiation,
+    hierarchical_negotiation,
+    tree_children,
+    tree_parent,
+)
+from .costmodel import (
+    Link,
+    centralized_control_time,
+    hierarchical_allreduce_time,
+    hierarchical_control_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from .compression import SparseGradient, TopKCompressor, sparse_allreduce
+from .halo import gather_stripes, halo_exchange, split_stripes, stripe_bounds
+from .horovod import (
+    ExchangeReport,
+    FusionPlan,
+    HorovodConfig,
+    allreduce_gradients,
+    fuse_order,
+)
+from .reducer import (
+    hierarchical_allreduce,
+    naive_allreduce,
+    ring_allreduce,
+    tree_allreduce,
+)
+from .timeline import TimelineEvent, build_timeline, to_chrome_trace
+from .simmpi import TrafficStats, World
+
+__all__ = [
+    "World",
+    "stripe_bounds",
+    "split_stripes",
+    "halo_exchange",
+    "gather_stripes",
+    "TopKCompressor",
+    "SparseGradient",
+    "sparse_allreduce",
+    "TimelineEvent",
+    "build_timeline",
+    "to_chrome_trace",
+    "TrafficStats",
+    "naive_allreduce",
+    "ring_allreduce",
+    "tree_allreduce",
+    "hierarchical_allreduce",
+    "ReadinessSchedule",
+    "NegotiationResult",
+    "centralized_negotiation",
+    "hierarchical_negotiation",
+    "tree_parent",
+    "tree_children",
+    "HorovodConfig",
+    "FusionPlan",
+    "ExchangeReport",
+    "allreduce_gradients",
+    "fuse_order",
+    "Link",
+    "ring_allreduce_time",
+    "tree_allreduce_time",
+    "hierarchical_allreduce_time",
+    "centralized_control_time",
+    "hierarchical_control_time",
+]

@@ -1,0 +1,124 @@
+"""Gradient compression: top-k sparsification with error feedback.
+
+Section VIII-B: "compression techniques can be used at the expense of
+already heavily utilized main processors" to relieve the data plane.  This
+module implements the standard recipe the paper alludes to:
+
+* **top-k sparsification** — per tensor, keep only the k largest-magnitude
+  entries (indices + values), shrinking the all-reduce volume by ~C/k;
+* **error feedback** — the dropped residual is accumulated locally and
+  added to the next step's gradient, which is what keeps sparsified SGD
+  convergent (Stich et al.);
+* a gather-style exchange of the sparse payloads over the functional wire,
+  with byte accounting so the bandwidth saving is measurable.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .simmpi import World
+
+__all__ = ["TopKCompressor", "SparseGradient", "sparse_allreduce"]
+
+
+@dataclass
+class SparseGradient:
+    """A compressed tensor: flat indices + values + original shape."""
+
+    indices: np.ndarray   # int64 flat indices, sorted
+    values: np.ndarray    # float32 values at those indices
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return self.indices.nbytes + self.values.nbytes
+
+    def densify(self) -> np.ndarray:
+        out = np.zeros(int(np.prod(self.shape)), dtype=np.float32)
+        out[self.indices] = self.values
+        return out.reshape(self.shape)
+
+
+class TopKCompressor:
+    """Per-tensor top-k compression with local error feedback."""
+
+    def __init__(self, ratio: float = 0.01):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+        self.ratio = float(ratio)
+        self._residual: dict[str, np.ndarray] = {}
+
+    def compress(self, name: str, grad: np.ndarray) -> SparseGradient:
+        """Compress ``grad`` (plus carried residual); store the new residual."""
+        g = np.asarray(grad, dtype=np.float32)
+        flat = g.ravel().copy()
+        if name in self._residual:
+            flat += self._residual[name]
+        k = max(int(round(self.ratio * flat.size)), 1)
+        if k >= flat.size:
+            idx = np.arange(flat.size)
+        else:
+            idx = np.argpartition(np.abs(flat), -k)[-k:]
+            idx.sort()
+        values = flat[idx].copy()
+        residual = flat
+        residual[idx] = 0.0
+        self._residual[name] = residual
+        return SparseGradient(idx.astype(np.int64), values, g.shape)
+
+    def residual_norm(self, name: str) -> float:
+        r = self._residual.get(name)
+        return float(np.linalg.norm(r)) if r is not None else 0.0
+
+    def reset(self) -> None:
+        self._residual.clear()
+
+
+def sparse_allreduce(
+    world: World,
+    sparse_grads: list[SparseGradient],
+    average: bool = True,
+    tag: int = 700,
+) -> list[np.ndarray]:
+    """All-reduce sparse gradients: gather payloads, sum densified, share.
+
+    Sparse payloads cannot ride a ring reduce-scatter (indices differ per
+    rank), so the exchange is an all-gather of (indices, values) — still a
+    ~C/k volume saving when k is small.  Returns the dense averaged gradient
+    on every rank.
+    """
+    n = world.size
+    if len(sparse_grads) != n:
+        raise ValueError(f"need {n} sparse gradients, got {len(sparse_grads)}")
+    shape = sparse_grads[0].shape
+    for i, s in enumerate(sparse_grads):
+        if s.shape != shape:
+            raise ValueError(f"rank {i} shape {s.shape} != {shape}")
+    # All-gather: every rank sends its payload to every other rank.
+    for src in range(n):
+        payload_idx = sparse_grads[src].indices
+        payload_val = sparse_grads[src].values
+        for dst in range(n):
+            if dst != src:
+                world.send(payload_idx, src, dst, tag)
+                world.send(payload_val, src, dst, tag + 1)
+    results = []
+    size = int(np.prod(shape))
+    for dst in range(n):
+        # Accumulate in canonical src order so every rank performs the
+        # *same* float additions — replicas must stay bit-identical.
+        total = np.zeros(size, dtype=np.float32)
+        for src in range(n):
+            if src == dst:
+                idx = sparse_grads[dst].indices
+                val = sparse_grads[dst].values
+            else:
+                idx = world.recv(dst, src, tag)
+                val = world.recv(dst, src, tag + 1)
+            np.add.at(total, idx, val)
+        if average:
+            total /= n
+        results.append(total.reshape(shape))
+    return results

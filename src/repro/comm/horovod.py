@@ -1,0 +1,179 @@
+"""Horovod-style synchronous gradient exchange with tensor fusion.
+
+Combines the pieces the paper's training loop relies on:
+
+* per-tensor readiness negotiation (control plane, either the centralized
+  original or the paper's hierarchical tree);
+* tensor *fusion* — consecutive negotiated tensors are packed into one
+  buffer until a byte threshold, amortizing collective latency (gradient
+  lag increases the batching opportunity, Section V-B4);
+* the data-plane all-reduce itself, in any of the implemented algorithms.
+
+``allreduce_gradients`` is the functional entry point used by the
+distributed trainer: given each rank's gradient dict, it returns the
+averaged gradients every rank would hold after the exchange, plus traffic
+statistics.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .coordinator import (
+    NegotiationResult,
+    ReadinessSchedule,
+    centralized_negotiation,
+    hierarchical_negotiation,
+)
+from .reducer import hierarchical_allreduce, naive_allreduce, ring_allreduce, tree_allreduce
+from .simmpi import World
+
+__all__ = ["FusionPlan", "HorovodConfig", "ExchangeReport", "allreduce_gradients", "fuse_order"]
+
+_ALGORITHMS = {
+    "naive": naive_allreduce,
+    "ring": ring_allreduce,
+    "tree": tree_allreduce,
+    "hierarchical": hierarchical_allreduce,
+}
+
+
+@dataclass(frozen=True)
+class HorovodConfig:
+    """Knobs for the gradient exchange."""
+
+    algorithm: str = "hierarchical"
+    control_plane: str = "hierarchical"   # or "centralized"
+    control_radix: int = 4
+    fusion_threshold_bytes: int = 64 * 1024 * 1024
+    gpus_per_node: int = 6
+    mpi_ranks_per_node: int = 4
+
+    def __post_init__(self):
+        if self.algorithm not in _ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.control_plane not in ("centralized", "hierarchical"):
+            raise ValueError(f"unknown control plane {self.control_plane!r}")
+
+
+@dataclass
+class FusionPlan:
+    """Groups of tensor names reduced together in one collective."""
+
+    groups: list[list[str]]
+    group_bytes: list[int]
+
+    @property
+    def num_collectives(self) -> int:
+        return len(self.groups)
+
+
+def fuse_order(order: list[str], sizes: dict[str, int], threshold_bytes: int) -> FusionPlan:
+    """Pack tensors (in negotiated order) into fusion buffers."""
+    groups: list[list[str]] = []
+    group_bytes: list[int] = []
+    cur: list[str] = []
+    cur_bytes = 0
+    for name in order:
+        nbytes = sizes[name]
+        if cur and cur_bytes + nbytes > threshold_bytes:
+            groups.append(cur)
+            group_bytes.append(cur_bytes)
+            cur, cur_bytes = [], 0
+        cur.append(name)
+        cur_bytes += nbytes
+    if cur:
+        groups.append(cur)
+        group_bytes.append(cur_bytes)
+    return FusionPlan(groups, group_bytes)
+
+
+@dataclass
+class ExchangeReport:
+    """What one gradient exchange cost.
+
+    ``negotiation``/``fusion`` are None for exchanges that bypass the
+    Horovod control plane (e.g. the sparse compressed path).
+    """
+
+    negotiation: NegotiationResult | None
+    fusion: FusionPlan | None
+    data_messages: int
+    data_bytes: int
+
+
+def allreduce_gradients(
+    world: World,
+    per_rank_grads: list[dict[str, np.ndarray]],
+    config: HorovodConfig | None = None,
+    seed: int = 0,
+) -> tuple[list[dict[str, np.ndarray]], ExchangeReport]:
+    """Synchronously average gradients across ranks.
+
+    Parameters
+    ----------
+    per_rank_grads:
+        One ``{tensor_name: gradient}`` dict per rank.  All ranks must hold
+        the same tensor names/shapes (they run identical model replicas).
+
+    Returns the averaged gradient dicts (identical across ranks) and an
+    :class:`ExchangeReport` describing negotiation and traffic.
+    """
+    cfg = config or HorovodConfig()
+    n = world.size
+    if len(per_rank_grads) != n:
+        raise ValueError(f"need {n} gradient dicts, got {len(per_rank_grads)}")
+    names = list(per_rank_grads[0].keys())
+    for r, grads in enumerate(per_rank_grads):
+        if list(grads.keys()) != names:
+            raise ValueError(f"rank {r} tensor names differ from rank 0")
+
+    # Control plane: negotiate a total order over tensors.
+    schedule = ReadinessSchedule.random(n, len(names), seed=seed)
+    if cfg.control_plane == "centralized":
+        negotiation = centralized_negotiation(schedule)
+    else:
+        negotiation = hierarchical_negotiation(schedule, radix=cfg.control_radix)
+    ordered_names = [names[t] for t in negotiation.order]
+
+    # Fusion: pack negotiated tensors into buffers.
+    sizes = {k: per_rank_grads[0][k].nbytes for k in names}
+    plan = fuse_order(ordered_names, sizes, cfg.fusion_threshold_bytes)
+
+    # Data plane: one collective per fusion buffer.
+    reduce_fn = _ALGORITHMS[cfg.algorithm]
+    world.stats.reset()
+    averaged: list[dict[str, np.ndarray]] = [dict() for _ in range(n)]
+    for group in plan.groups:
+        flat_parts = []
+        for r in range(n):
+            flat_parts.append(
+                np.concatenate([per_rank_grads[r][k].ravel() for k in group])
+            )
+        if cfg.algorithm == "hierarchical":
+            results = reduce_fn(
+                world, flat_parts, gpus_per_node=cfg.gpus_per_node,
+                mpi_ranks_per_node=cfg.mpi_ranks_per_node, average=True,
+            )
+        else:
+            results = reduce_fn(world, flat_parts, average=True)
+        # Unpack the fused buffer back into named tensors.
+        for r in range(n):
+            offset = 0
+            for k in group:
+                shape = per_rank_grads[r][k].shape
+                num = per_rank_grads[r][k].size
+                averaged[r][k] = results[r][offset : offset + num].reshape(shape).astype(
+                    per_rank_grads[r][k].dtype
+                )
+                offset += num
+    report = ExchangeReport(
+        negotiation=negotiation,
+        fusion=plan,
+        data_messages=world.stats.total_messages,
+        data_bytes=world.stats.total_bytes,
+    )
+    # Restore canonical key order for determinism downstream.
+    averaged = [{k: g[k] for k in names} for g in averaged]
+    return averaged, report

@@ -1,0 +1,132 @@
+"""A functional, in-process MPI with per-rank traffic accounting.
+
+This is the wire the collective algorithms and the Horovod control planes
+run over.  It is deliberately *functional* rather than threaded: collectives
+are expressed as sequences of matched send/recv pairs executed in program
+order, which keeps runs deterministic and lets tests assert exact message
+and byte counts (the heart of the paper's control-plane argument in
+Section V-A3).
+
+The API mirrors mpi4py closely enough to be familiar: ``send``/``recv`` with
+(source, tag) matching, plus convenience collectives.  Payloads are NumPy
+arrays or picklable Python objects; arrays are copied on send so ranks
+cannot alias each other's buffers (MPI semantics).
+"""
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["World", "TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Per-rank accounting of point-to-point traffic."""
+
+    sent_messages: defaultdict = field(default_factory=lambda: defaultdict(int))
+    recv_messages: defaultdict = field(default_factory=lambda: defaultdict(int))
+    sent_bytes: defaultdict = field(default_factory=lambda: defaultdict(int))
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.sent_messages.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sent_bytes.values())
+
+    def max_messages_per_rank(self) -> int:
+        counts = [self.sent_messages[r] + self.recv_messages[r]
+                  for r in set(self.sent_messages) | set(self.recv_messages)]
+        return max(counts, default=0)
+
+    def reset(self) -> None:
+        self.sent_messages.clear()
+        self.recv_messages.clear()
+        self.sent_bytes.clear()
+
+
+def _payload_bytes(payload) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    # Small control message: count a nominal envelope.
+    return 64
+
+
+class World:
+    """A simulated MPI communicator of ``size`` ranks."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = int(size)
+        self._queues: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self.stats = TrafficStats()
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, payload, src: int, dst: int, tag: int = 0) -> None:
+        """Enqueue a message from ``src`` to ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        self._queues[(src, dst, tag)].append(payload)
+        self.stats.sent_messages[src] += 1
+        self.stats.sent_bytes[src] += _payload_bytes(payload)
+
+    def recv(self, dst: int, src: int, tag: int = 0):
+        """Dequeue the next message from ``src`` to ``dst``.
+
+        Raises ``LookupError`` if no matching message is pending — in a
+        functional simulation that indicates a protocol bug (deadlock).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        q = self._queues[(src, dst, tag)]
+        if not q:
+            raise LookupError(
+                f"deadlock: rank {dst} waiting on message from {src} tag {tag}"
+            )
+        self.stats.recv_messages[dst] += 1
+        return q.popleft()
+
+    def pending(self, dst: int, src: int, tag: int = 0) -> int:
+        return len(self._queues[(src, dst, tag)])
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+
+    # -- simple collectives (reference implementations) -----------------------
+
+    def exchange(self, payloads: list, pairs: list[tuple[int, int]], tag: int = 0) -> list:
+        """Send payloads[src] along each (src, dst) pair; return recv list
+        aligned with ``pairs``.  Helper for algorithm implementations."""
+        for (src, dst), payload in zip(pairs, payloads):
+            self.send(payload, src, dst, tag)
+        return [self.recv(dst, src, tag) for (src, dst) in pairs]
+
+    def gather(self, values: list, root: int = 0, tag: int = 1000) -> list:
+        """Reference gather: every rank sends its value to root."""
+        if len(values) != self.size:
+            raise ValueError("need one value per rank")
+        for r in range(self.size):
+            if r != root:
+                self.send(values[r], r, root, tag)
+        out = []
+        for r in range(self.size):
+            out.append(values[r] if r == root else self.recv(root, r, tag))
+        return out
+
+    def broadcast(self, value, root: int = 0, tag: int = 1001) -> list:
+        """Reference broadcast: root sends to every other rank."""
+        for r in range(self.size):
+            if r != root:
+                self.send(value, root, r, tag)
+        return [value if r == root else self.recv(r, root, tag) for r in range(self.size)]

@@ -1,0 +1,127 @@
+"""Training checkpoints: model + optimizer + loss-scaler state.
+
+Two-hour convergence runs on 27360 GPUs (Section VII-C) are only practical
+with restartable state; this module serializes everything a
+:class:`repro.core.trainer.Trainer` needs to resume bit-exactly — parameter
+masters, batch-norm running statistics, momentum/Adam moments, the gradient
+lag delay line, and the dynamic loss scale — into a single ``.npz`` file.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .optim import GradientLag
+from .trainer import Trainer
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def _optimizer_state(optimizer) -> tuple[dict[str, np.ndarray], dict]:
+    """Flatten optimizer state into arrays + JSON metadata."""
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"steps": getattr(optimizer, "steps", 0)}
+    inner = optimizer.inner if isinstance(optimizer, GradientLag) else optimizer
+    meta["inner_steps"] = inner.steps
+    # Momentum / Adam buffers are keyed by parameter identity; persist them
+    # by parameter name instead.
+    by_id = {id(p): p.name for p in inner.params}
+    for attr in ("_velocity", "_m", "_v"):
+        table = getattr(inner, attr, None)
+        if table:
+            for pid, arr in table.items():
+                arrays[f"opt.{attr}.{by_id[pid]}"] = arr
+    t_table = getattr(inner, "_t", None)
+    if t_table:
+        meta["adam_t"] = {by_id[pid]: t for pid, t in t_table.items()}
+    if isinstance(optimizer, GradientLag):
+        meta["lag"] = optimizer.lag
+        for i, grads in enumerate(optimizer._queue):
+            for name, g in grads.items():
+                arrays[f"lagq.{i}.{name}"] = g
+        meta["lag_queue_len"] = len(optimizer._queue)
+    return arrays, meta
+
+
+def save_checkpoint(trainer: Trainer, path: str | Path) -> Path:
+    """Serialize a trainer to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in trainer.model.state_dict().items():
+        arrays[f"model.{name}"] = value
+    opt_arrays, opt_meta = _optimizer_state(trainer.optimizer)
+    arrays.update(opt_arrays)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "optimizer": opt_meta,
+        "history_len": len(trainer.history),
+        "config": {
+            "lr": trainer.config.lr,
+            "optimizer": trainer.config.optimizer,
+            "precision": trainer.config.precision,
+            "weighting": trainer.config.weighting,
+            "gradient_lag": trainer.config.gradient_lag,
+        },
+    }
+    if trainer.scaler is not None:
+        meta["scaler"] = {
+            "scale": trainer.scaler.scale,
+            "good_steps": trainer.scaler._good_steps,
+            "num_overflows": trainer.scaler.num_overflows,
+        }
+    arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_checkpoint(trainer: Trainer, path: str | Path) -> dict:
+    """Restore a trainer in place; returns the checkpoint metadata.
+
+    The trainer must be constructed with the same architecture and
+    configuration as the one that was saved.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["__meta__"].tobytes()).decode())
+        if meta["version"] != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {meta['version']}")
+        saved_cfg = meta["config"]
+        for key, value in saved_cfg.items():
+            if getattr(trainer.config, key) != value:
+                raise ValueError(
+                    f"checkpoint config mismatch at {key!r}: saved {value}, "
+                    f"trainer has {getattr(trainer.config, key)}"
+                )
+        model_state = {k[len("model."):]: data[k] for k in data.files
+                       if k.startswith("model.")}
+        trainer.model.load_state_dict(model_state)
+        optimizer = trainer.optimizer
+        inner = optimizer.inner if isinstance(optimizer, GradientLag) else optimizer
+        inner.steps = meta["optimizer"]["inner_steps"]
+        by_name = {p.name: p for p in inner.params}
+        for key in data.files:
+            if key.startswith("opt."):
+                _, attr, pname = key.split(".", 2)
+                getattr(inner, attr)[id(by_name[pname])] = data[key]
+        if "adam_t" in meta["optimizer"]:
+            inner._t = {id(by_name[n]): t
+                        for n, t in meta["optimizer"]["adam_t"].items()}
+        if isinstance(optimizer, GradientLag):
+            optimizer.lag = meta["optimizer"]["lag"]
+            optimizer._queue.clear()
+            for i in range(meta["optimizer"]["lag_queue_len"]):
+                prefix = f"lagq.{i}."
+                grads = {k[len(prefix):]: data[k] for k in data.files
+                         if k.startswith(prefix)}
+                optimizer._queue.append(grads)
+        if trainer.scaler is not None and "scaler" in meta:
+            trainer.scaler.scale = meta["scaler"]["scale"]
+            trainer.scaler._good_steps = meta["scaler"]["good_steps"]
+            trainer.scaler.num_overflows = meta["scaler"]["num_overflows"]
+    return meta

@@ -1,0 +1,233 @@
+"""Synchronous data-parallel training over the simulated MPI substrate.
+
+One model replica per rank, identical initialization, per-rank local
+batches, Horovod-style gradient averaging every step — the paper's training
+configuration (Section V-A3), executed functionally in one process so the
+distributed-equivalence invariant can be tested exactly:
+
+    N-rank synchronous SGD on local batches == single-process SGD on the
+    concatenated global batch (up to floating-point reassociation),
+
+because an averaged mean-per-pixel-weighted gradient over equal-size shards
+equals the global-batch gradient.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.compression import TopKCompressor, sparse_allreduce
+from ..comm.horovod import ExchangeReport, HorovodConfig, allreduce_gradients
+from ..comm.simmpi import World
+from ..framework.module import Module
+from .trainer import StepResult, TrainConfig, Trainer
+
+__all__ = ["DistributedTrainer", "DistributedStepResult"]
+
+
+@dataclass
+class DistributedStepResult:
+    """Outcome of one global step."""
+
+    mean_loss: float
+    per_rank_loss: list[float]
+    exchange: ExchangeReport | None
+    skipped: bool = False
+
+
+class DistributedTrainer:
+    """N synchronized replicas with Horovod gradient averaging.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a *freshly initialized* model;
+        called once per rank.  All replicas must initialize identically
+        (pass a seeded rng inside the factory), mirroring Horovod's initial
+        broadcast of rank 0's variables.
+    """
+
+    def __init__(
+        self,
+        model_factory,
+        world_size: int,
+        config: TrainConfig,
+        class_frequencies: np.ndarray | None = None,
+        horovod: HorovodConfig | None = None,
+        compression_ratio: float | None = None,
+    ):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world = World(world_size)
+        self.config = config
+        self.horovod = horovod or HorovodConfig(
+            algorithm="ring", control_plane="hierarchical",
+            fusion_threshold_bytes=4 * 1024 * 1024,
+        )
+        self.trainers = [
+            Trainer(model_factory(), config, class_frequencies)
+            for _ in range(world_size)
+        ]
+        # Optional top-k gradient compression (Section VIII-B), one
+        # error-feedback compressor per rank (residuals are rank-local).
+        if compression_ratio is not None:
+            self._compressors = [TopKCompressor(compression_ratio)
+                                 for _ in range(world_size)]
+        else:
+            self._compressors = None
+        self._verify_identical_init()
+        self._step = 0
+
+    def _verify_identical_init(self) -> None:
+        ref = self.trainers[0].model.state_dict()
+        for r, t in enumerate(self.trainers[1:], start=1):
+            state = t.model.state_dict()
+            for k, v in ref.items():
+                if not np.array_equal(state[k], v):
+                    raise ValueError(
+                        f"rank {r} initialized differently at {k!r}; "
+                        "model_factory must be deterministic"
+                    )
+
+    @property
+    def world_size(self) -> int:
+        return self.world.size
+
+    @property
+    def model(self) -> Module:
+        """Rank 0's replica (all replicas stay bit-identical)."""
+        return self.trainers[0].model
+
+    # -- one global step -----------------------------------------------------
+
+    def train_step(self, rank_batches: list[tuple[np.ndarray, np.ndarray]]
+                   ) -> DistributedStepResult:
+        """One synchronous step: local backward, all-reduce, local update."""
+        n = self.world.size
+        if len(rank_batches) != n:
+            raise ValueError(f"need {n} rank batches, got {len(rank_batches)}")
+        losses = []
+        all_grads = []
+        any_skip = False
+        for trainer, (images, labels) in zip(self.trainers, rank_batches):
+            trainer.model.train(True)
+            trainer.model.zero_grad()
+            loss = trainer.compute_loss(images, labels)
+            if trainer.scaler is not None:
+                trainer.scaler.scale_loss(loss).backward()
+            else:
+                loss.backward()
+            losses.append(float(loss.item()))
+        if self.trainers[0].scaler is not None:
+            # Overflow on ANY rank skips the global step (all ranks must act
+            # identically or replicas diverge).
+            oks = [t.scaler.step(t.model.parameters()) for t in self.trainers]
+            if not all(oks):
+                # Synchronize the scaler decision across replicas.
+                for t in self.trainers:
+                    t.scaler.scale = min(s.scale for s in
+                                         (tr.scaler for tr in self.trainers))
+                    for p in t.model.parameters():
+                        p.grad = None
+                return DistributedStepResult(
+                    mean_loss=float(np.mean(losses)), per_rank_loss=losses,
+                    exchange=None, skipped=True,
+                )
+        for trainer in self.trainers:
+            all_grads.append({p.name: np.asarray(p.grad, dtype=np.float32)
+                              for p in trainer.model.parameters()
+                              if p.grad is not None})
+        if self._compressors is not None:
+            averaged, report = self._compressed_exchange(all_grads)
+        else:
+            averaged, report = allreduce_gradients(
+                self.world, all_grads, self.horovod, seed=self._step
+            )
+        for trainer, grads in zip(self.trainers, averaged):
+            for p in trainer.model.parameters():
+                if p.name in grads:
+                    p.grad = grads[p.name]
+            trainer.optimizer.step()
+        self._step += 1
+        return DistributedStepResult(
+            mean_loss=float(np.mean(losses)), per_rank_loss=losses,
+            exchange=report, skipped=False,
+        )
+
+    def _compressed_exchange(self, all_grads: list[dict[str, np.ndarray]]):
+        """Top-k sparsified exchange with per-rank error feedback.
+
+        Every rank compresses each tensor (accumulating the dropped residual
+        locally), the sparse payloads are all-reduced, and the identical
+        dense average lands on every rank — so the replica-consistency
+        invariant survives compression.
+        """
+        names = list(all_grads[0].keys())
+        self.world.stats.reset()
+        averaged: list[dict[str, np.ndarray]] = [dict() for _ in all_grads]
+        for name in names:
+            sparse = [comp.compress(name, grads[name])
+                      for comp, grads in zip(self._compressors, all_grads)]
+            dense = sparse_allreduce(self.world, sparse, average=True)
+            for r, d in enumerate(dense):
+                averaged[r][name] = d.astype(all_grads[r][name].dtype)
+        report = ExchangeReport(
+            negotiation=None, fusion=None,
+            data_messages=self.world.stats.total_messages,
+            data_bytes=self.world.stats.total_bytes,
+        )
+        return averaged, report
+
+    # -- invariants ------------------------------------------------------------
+
+    def max_replica_divergence(self) -> float:
+        """Max abs *parameter* difference across replicas.
+
+        Stays exactly zero under synchronous training: identical init +
+        identical averaged gradients + deterministic optimizers.  Batch-norm
+        running statistics are excluded — they are computed from local
+        batches and legitimately differ per rank (as in real Horovod
+        training); see :meth:`max_buffer_divergence`.
+        """
+        ref = {k: p.master_value() for k, p in
+               self.trainers[0].model.named_parameters()}
+        worst = 0.0
+        for t in self.trainers[1:]:
+            for k, p in t.model.named_parameters():
+                diff = np.abs(p.master_value() - ref[k])
+                if diff.size:
+                    worst = max(worst, float(diff.max()))
+        return worst
+
+    def max_buffer_divergence(self) -> float:
+        """Max abs difference of non-parameter state (BN running stats)."""
+        params = {k for k, _ in self.trainers[0].model.named_parameters()}
+        ref = self.trainers[0].model.state_dict()
+        worst = 0.0
+        for t in self.trainers[1:]:
+            state = t.model.state_dict()
+            for k, v in ref.items():
+                if k not in params and v.size:
+                    worst = max(worst, float(np.max(np.abs(state[k] - v))))
+        return worst
+
+    def train_epoch(self, dataset, batch_size: int, rng: np.random.Generator,
+                    steps: int | None = None) -> list[DistributedStepResult]:
+        """Run synchronized steps over per-rank shards of the training split."""
+        n = self.world.size
+        iterators = []
+        for rank in range(n):
+            shard = dataset.shard_indices(dataset.splits.train, rank, n)
+            rank_rng = np.random.default_rng(rng.integers(0, 2**63))
+            iterators.append(dataset.batches(shard, batch_size, rank_rng))
+        results = []
+        while True:
+            try:
+                batch_set = [next(it) for it in iterators]
+            except StopIteration:
+                break
+            results.append(self.train_step(batch_set))
+            if steps is not None and len(results) >= steps:
+                break
+        return results

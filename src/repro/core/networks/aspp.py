@@ -1,0 +1,42 @@
+"""Atrous Spatial Pyramid Pooling, retuned for the large input resolution.
+
+Figure 1's ASPP: a 1x1 branch plus three 3x3 atrous branches at dilations
+(12, 24, 36) — larger than stock DeepLabv3+'s (6, 12, 18) because the
+encoder output is 144x96 rather than the usual ~33x33 — concatenated and
+projected back to 256 channels by a final 1x1 convolution.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ...framework import functional as F
+from ...framework.layers import Module
+from .blocks import ConvBNReLU
+
+__all__ = ["ASPP"]
+
+
+class ASPP(Module):
+    """Parallel atrous branches + 1x1 projection."""
+
+    def __init__(self, in_channels: int, branch_channels: int = 256,
+                 dilations: tuple[int, ...] = (12, 24, 36),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.branch0 = ConvBNReLU(in_channels, branch_channels, 1, rng=rng,
+                                  name="aspp.b0")
+        self.atrous_branches = []
+        for i, d in enumerate(dilations):
+            branch = ConvBNReLU(in_channels, branch_channels, 3, dilation=d,
+                                rng=rng, name=f"aspp.b{i + 1}")
+            self.add_module(f"branch{i + 1}", branch)
+            self.atrous_branches.append(branch)
+        concat_ch = branch_channels * (1 + len(dilations))
+        self.project = ConvBNReLU(concat_ch, branch_channels, 1, rng=rng,
+                                  name="aspp.project")
+        self.out_channels = branch_channels
+
+    def forward(self, x):
+        outs = [self.branch0(x)] + [b(x) for b in self.atrous_branches]
+        return self.project(F.concat(outs, axis=1))

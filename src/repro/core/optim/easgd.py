@@ -1,0 +1,62 @@
+"""Elastic Averaging SGD (EASGD), the larger-lag scheme the paper cites.
+
+Section V-B4 notes that "a similar gradient lagging strategy, known as
+elastic averaging SGD (EASGD), was shown to be effective, with even larger
+degrees of lag."  EASGD keeps per-replica parameters x_i loosely coupled to
+a center variable x~ through an elastic force:
+
+    x_i <- x_i - lr * (g_i + rho * (x_i - x~))
+    x~  <- x~ + lr * beta/n * sum_i (x_i - x~)
+
+Communication with the center happens only every ``tau`` steps, giving an
+effective gradient staleness of up to ``tau``.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EASGDState"]
+
+
+class EASGDState:
+    """Center-variable bookkeeping for n replicas of a flat parameter vector.
+
+    The distributed trainer owns the replica updates; this class owns the
+    elastic interaction.  Parameters are handled as flat float32 vectors to
+    keep the center math simple and exact.
+    """
+
+    def __init__(self, initial: np.ndarray, replicas: int,
+                 rho: float = 0.01, beta: float = 0.9, tau: int = 4):
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        if rho <= 0 or not 0 < beta <= 1 or tau < 1:
+            raise ValueError("invalid EASGD hyper-parameters")
+        self.center = np.asarray(initial, dtype=np.float32).copy()
+        self.replicas = int(replicas)
+        self.rho = float(rho)
+        self.beta = float(beta)
+        self.tau = int(tau)
+        self.step_count = 0
+
+    def elastic_force(self, x_i: np.ndarray) -> np.ndarray:
+        """The drift term rho * (x_i - center) added to a replica's gradient."""
+        return self.rho * (np.asarray(x_i, dtype=np.float32) - self.center)
+
+    def maybe_synchronize(self, xs: list[np.ndarray]) -> bool:
+        """Every ``tau`` steps, move the center toward the replica mean and
+        pull each replica toward the center.  Mutates ``xs`` in place and
+        returns True when a synchronization happened."""
+        self.step_count += 1
+        if self.step_count % self.tau:
+            return False
+        alpha = self.beta / self.replicas
+        diffs = [x - self.center for x in xs]
+        for x, d in zip(xs, diffs):
+            x -= alpha * d
+        self.center = self.center + alpha * np.sum(diffs, axis=0)
+        return True
+
+    def consensus_distance(self, xs: list[np.ndarray]) -> float:
+        """RMS distance of replicas from the center (convergence diagnostic)."""
+        return float(np.sqrt(np.mean([np.mean((x - self.center) ** 2) for x in xs])))

@@ -1,0 +1,41 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ...framework.parameter import Parameter
+from .base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Classic (heavy-ball) momentum SGD.
+
+    ``v <- m v + g + wd w``;  ``w <- w - lr v``.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _effective_grad(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.master_value().astype(np.float32)
+        return grad
+
+    def _delta(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        grad = self._effective_grad(param, grad)
+        if self.momentum:
+            v = self._velocity.get(id(param))
+            v = grad if v is None else self.momentum * v + grad
+            self._velocity[id(param)] = v
+            grad = v
+        return -self.lr * grad

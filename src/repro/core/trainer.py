@@ -1,0 +1,163 @@
+"""Single-process training loop with mixed precision and weighted loss.
+
+This is the per-rank engine; :mod:`repro.core.distributed` replicates it
+across simulated MPI ranks with Horovod-style gradient averaging.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..framework import LossScaler, Tensor, apply_fp16_policy, no_grad
+from ..framework.module import Module
+from .losses import class_weights, pixel_weight_map
+from .metrics import SegmentationReport
+from .optim import LARC, LARS, SGD, Adam, GradientLag
+
+__all__ = ["TrainConfig", "StepResult", "Trainer", "build_optimizer"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters for one training run."""
+
+    lr: float = 1e-3
+    optimizer: str = "larc"           # sgd | adam | lars | larc
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    precision: str = "fp32"           # fp32 | fp16
+    loss_scale: float = 2.0**12
+    dynamic_loss_scale: bool = True
+    weighting: str = "inverse_sqrt"   # none | inverse | inverse_sqrt
+    gradient_lag: int = 0
+    num_classes: int = 3
+
+    def __post_init__(self):
+        if self.precision not in ("fp32", "fp16"):
+            raise ValueError(f"unsupported precision {self.precision!r}")
+
+
+def build_optimizer(model: Module, config: TrainConfig):
+    """Construct the configured optimizer (optionally lag-wrapped)."""
+    params = model.parameters()
+    kind = config.optimizer
+    if kind == "sgd":
+        opt = SGD(params, config.lr, momentum=config.momentum,
+                  weight_decay=config.weight_decay)
+    elif kind == "adam":
+        opt = Adam(params, config.lr, weight_decay=config.weight_decay)
+    elif kind == "lars":
+        opt = LARS(params, config.lr, momentum=config.momentum,
+                   weight_decay=config.weight_decay)
+    elif kind == "larc":
+        opt = LARC(params, config.lr, momentum=config.momentum,
+                   weight_decay=config.weight_decay)
+    else:
+        raise ValueError(f"unknown optimizer {kind!r}")
+    if config.gradient_lag > 0:
+        return GradientLag(opt, lag=config.gradient_lag)
+    return opt
+
+
+@dataclass
+class StepResult:
+    """Outcome of one training step."""
+
+    loss: float
+    skipped: bool = False          # FP16 overflow -> update skipped
+    grad_norm: float = 0.0
+
+
+class Trainer:
+    """Owns a model, its optimizer, precision policy, and loss weighting."""
+
+    def __init__(self, model: Module, config: TrainConfig,
+                 class_frequencies: np.ndarray | None = None):
+        self.model = model
+        self.config = config
+        freqs = (np.asarray(class_frequencies)
+                 if class_frequencies is not None
+                 else np.full(config.num_classes, 1.0 / config.num_classes))
+        self.class_weight_table = class_weights(freqs, config.weighting).astype(np.float32)
+        if config.precision == "fp16":
+            apply_fp16_policy(model)
+            self.scaler: LossScaler | None = LossScaler(
+                init_scale=config.loss_scale, dynamic=config.dynamic_loss_scale
+            )
+        else:
+            self.scaler = None
+        self.optimizer = build_optimizer(model, config)
+        self.history: list[StepResult] = []
+
+    # -- one step ----------------------------------------------------------
+
+    def _cast_inputs(self, images: np.ndarray) -> np.ndarray:
+        if self.config.precision == "fp16":
+            return images.astype(np.float16)
+        return images.astype(np.float32)
+
+    def compute_loss(self, images: np.ndarray, labels: np.ndarray) -> Tensor:
+        from ..framework.losses import weighted_cross_entropy
+
+        x = Tensor(self._cast_inputs(images), requires_grad=False)
+        logits = self.model(x)
+        wmap = pixel_weight_map(labels, self.class_weight_table)
+        return weighted_cross_entropy(logits, labels, wmap)
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> StepResult:
+        """Forward, backward, (scaled) update; returns the step outcome."""
+        self.model.train(True)
+        self.model.zero_grad()
+        loss = self.compute_loss(images, labels)
+        if self.scaler is not None:
+            scaled = self.scaler.scale_loss(loss)
+            scaled.backward()
+            ok = self.scaler.step(self.model.parameters())
+            if not ok:
+                result = StepResult(loss=float(loss.item()), skipped=True)
+                self.history.append(result)
+                return result
+        else:
+            loss.backward()
+        gnorm = self._grad_norm()
+        self.optimizer.step()
+        result = StepResult(loss=float(loss.item()), grad_norm=gnorm)
+        self.history.append(result)
+        return result
+
+    def _grad_norm(self) -> float:
+        total = 0.0
+        for p in self.model.parameters():
+            if p.grad is not None:
+                g = p.grad.astype(np.float64)
+                total += float((g * g).sum())
+        return float(np.sqrt(total))
+
+    # -- loops --------------------------------------------------------------
+
+    def train_epoch(self, batches) -> list[StepResult]:
+        """Run one pass over an iterable of (images, labels) batches."""
+        return [self.train_step(images, labels) for images, labels in batches]
+
+    def evaluate(self, batches, class_names: tuple[str, ...] | None = None
+                 ) -> SegmentationReport:
+        """IoU/accuracy over an iterable of (images, labels) batches."""
+        self.model.train(False)
+        report = SegmentationReport(self.config.num_classes, class_names)
+        with no_grad():
+            for images, labels in batches:
+                x = Tensor(self._cast_inputs(images))
+                logits = self.model(x)
+                preds = np.argmax(logits.data.astype(np.float32), axis=1)
+                report.update(preds, labels)
+        self.model.train(True)
+        return report
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class-id map for a batch of images."""
+        self.model.train(False)
+        with no_grad():
+            logits = self.model(Tensor(self._cast_inputs(images)))
+        self.model.train(True)
+        return np.argmax(logits.data.astype(np.float32), axis=1)

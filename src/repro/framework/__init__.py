@@ -1,0 +1,42 @@
+"""A minimal NumPy deep-learning framework (the TensorFlow stand-in).
+
+Provides tensors with reverse-mode autodiff, the layer zoo the segmentation
+networks need (conv / atrous conv / deconv / batch norm / pooling / dropout),
+mixed-precision emulation, and symbolic graph tracing for the paper's
+FLOP-counting methodology.
+"""
+from . import functional, init, layers, ops
+from .dtypes import Precision
+from .graph import CATEGORIES, GraphAnalysis, GraphTracer, KernelRecord, ShapeProbe
+from .losses import softmax, softmax_probs, weighted_cross_entropy
+from .module import Identity, Module, Sequential
+from .parameter import Parameter
+from .precision import LossScaler, apply_fp16_policy, grads_finite
+from .tensor import Tensor, concatenate, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Identity",
+    "Precision",
+    "GraphTracer",
+    "GraphAnalysis",
+    "KernelRecord",
+    "ShapeProbe",
+    "CATEGORIES",
+    "LossScaler",
+    "apply_fp16_policy",
+    "grads_finite",
+    "weighted_cross_entropy",
+    "softmax",
+    "softmax_probs",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "functional",
+    "layers",
+    "ops",
+    "init",
+]

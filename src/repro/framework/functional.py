@@ -1,0 +1,73 @@
+"""Probe-aware functional ops used inside network ``forward`` methods.
+
+Residual adds and skip concatenations happen outside layer objects, so these
+helpers accept either eager :class:`Tensor` or symbolic :class:`ShapeProbe`
+arguments and do the right thing for each.  Concatenation emits ``copy``
+kernel records: TensorFlow materializes concats with copy kernels, which the
+paper's Figure 3 accounts for under "Copies/Transposes".
+"""
+from __future__ import annotations
+
+from typing import Sequence
+
+from .graph import ShapeProbe
+from .tensor import Tensor, concatenate
+
+__all__ = ["add", "concat", "relu"]
+
+
+def add(a, b):
+    """Elementwise add (residual connections)."""
+    if isinstance(a, ShapeProbe) or isinstance(b, ShapeProbe):
+        probe = a if isinstance(a, ShapeProbe) else b
+        other = b if probe is a else a
+        if isinstance(other, ShapeProbe) and other.shape != probe.shape:
+            raise ValueError(f"residual add shape mismatch: {probe.shape} vs {other.shape}")
+        tr = probe.tracer
+        nbytes = tr.tensor_bytes(probe.shape)
+        tr.emit("residual_add_fwd", "pointwise_fwd", probe.size, 3 * nbytes)
+        tr.note_activation(probe.shape)
+        if tr.include_backward:
+            # The add backward is pure fan-out (no kernel), but gradient
+            # accumulation at the junction costs one pointwise pass.
+            tr.emit("residual_add_bwd", "pointwise_bwd", probe.size, 2 * nbytes)
+        return ShapeProbe(probe.shape, tr)
+    return a + b
+
+
+def concat(tensors: Sequence, axis: int = 1):
+    """Channel concatenation (Tiramisu skips, ASPP branch merge)."""
+    if any(isinstance(t, ShapeProbe) for t in tensors):
+        probes = list(tensors)
+        tr = probes[0].tracer
+        base = probes[0].shape
+        channels = 0
+        total_bytes = 0
+        for p in probes:
+            if not isinstance(p, ShapeProbe):
+                raise TypeError("cannot mix ShapeProbe and Tensor in concat")
+            if p.shape[:axis] + p.shape[axis + 1 :] != base[:axis] + base[axis + 1 :]:
+                raise ValueError(f"concat shape mismatch: {p.shape} vs {base}")
+            channels += p.shape[axis]
+            total_bytes += tr.tensor_bytes(p.shape)
+        out_shape = list(base)
+        out_shape[axis] = channels
+        out_shape = tuple(out_shape)
+        tr.emit("concat_copy", "copy", 0, 2 * total_bytes)
+        tr.note_activation(out_shape)
+        if tr.include_backward:
+            tr.emit("concat_split_copy", "copy", 0, 2 * total_bytes)
+        return ShapeProbe(out_shape, tr)
+    return concatenate(list(tensors), axis=axis)
+
+
+def relu(x):
+    """Functional ReLU (for use at network junctions)."""
+    if isinstance(x, ShapeProbe):
+        tr = x.tracer
+        nbytes = tr.tensor_bytes(x.shape)
+        tr.emit("relu_fwd", "pointwise_fwd", x.size, 2 * nbytes)
+        if tr.include_backward:
+            tr.emit("relu_bwd", "pointwise_bwd", x.size, 2 * nbytes)
+        return x
+    return x.relu()

@@ -1,0 +1,45 @@
+"""Weight initializers (He / Glorot variants used by the segmentation nets)."""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "he_uniform", "glorot_uniform", "zeros", "ones"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in/out for dense (out,in) or conv (F,C,KH,KW) weight shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        f, c, kh, kw = shape
+        receptive = kh * kw
+        return c * receptive, f * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    """He/Kaiming normal: std = sqrt(2/fan_in); the ReLU-network default."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def he_uniform(rng: np.random.Generator, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)
+
+
+def glorot_uniform(rng: np.random.Generator, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)
+
+
+def zeros(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    return np.ones(shape, dtype=dtype)

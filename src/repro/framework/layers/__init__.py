@@ -1,0 +1,29 @@
+"""Layer library used by the segmentation networks."""
+from ..module import Identity, Module, Sequential
+from .activation import ReLU, Sigmoid, Tanh
+from .conv import AtrousConv2D, Conv2D, ConvTranspose2D
+from .dropout import Dropout
+from .norm import BatchNorm2D
+from .separable import DepthwiseConv2D, SeparableConv2D
+from .pool import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from .upsample import BilinearUpsample2D
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "Identity",
+    "Conv2D",
+    "AtrousConv2D",
+    "ConvTranspose2D",
+    "BatchNorm2D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "Dropout",
+    "DepthwiseConv2D",
+    "SeparableConv2D",
+    "BilinearUpsample2D",
+]

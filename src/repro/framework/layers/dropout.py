@@ -1,0 +1,42 @@
+"""Inverted dropout (Tiramisu dense layers use p=0.2 in the original)."""
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import ShapeProbe
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x):
+        if isinstance(x, ShapeProbe):
+            tr = x.tracer
+            nbytes = tr.tensor_bytes(x.shape)
+            tr.emit("dropout_fwd", "pointwise_fwd", 2 * x.size, 2 * nbytes)
+            tr.note_activation(x.shape)  # the dropout mask
+            if tr.include_backward:
+                tr.emit("dropout_bwd", "pointwise_bwd", x.size, 2 * nbytes)
+            return x
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / np.asarray(
+            keep, dtype=x.dtype
+        )
+
+        def backward(g: np.ndarray) -> None:
+            x.accumulate_grad(g * mask)
+
+        return Tensor.from_op(x.data * mask, (x,), backward, f"dropout[{self.p}]")

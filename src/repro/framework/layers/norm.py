@@ -1,0 +1,89 @@
+"""Batch normalization layer (training + inference modes, running stats)."""
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import ShapeProbe
+from ..module import Module
+from ..ops.norm import batchnorm_backward, batchnorm_forward, batchnorm_infer
+from ..parameter import Parameter
+from ..tensor import Tensor
+
+__all__ = ["BatchNorm2D"]
+
+
+class BatchNorm2D(Module):
+    """Per-channel batch norm over (N, H, W).
+
+    Parameters stay FP32 even in mixed precision (the cuDNN convention);
+    running statistics are tracked with momentum ``momentum``.
+    """
+
+    def __init__(self, channels: int, eps: float = 1e-5, momentum: float = 0.1,
+                 name: str = "bn"):
+        super().__init__()
+        self.channels = int(channels)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(np.ones(channels, dtype=np.float32), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(channels, dtype=np.float32), name=f"{name}.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+
+    def buffers(self) -> dict[str, np.ndarray]:
+        return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+    def forward(self, x):
+        if isinstance(x, ShapeProbe):
+            return self._trace(x)
+        if x.shape[1] != self.channels:
+            raise ValueError(f"batchnorm expects {self.channels} channels, got {x.shape[1]}")
+        if self.training:
+            return self._eager_train(x)
+        return self._eager_infer(x)
+
+    def _eager_train(self, x: Tensor) -> Tensor:
+        gamma, beta = self.gamma, self.beta
+        y, cache = batchnorm_forward(x.data, gamma.data, beta.data, self.eps)
+        # Update running stats (float32, regardless of activation dtype).
+        xa = x.data.astype(np.float32, copy=False)
+        batch_mean = xa.mean(axis=(0, 2, 3))
+        batch_var = xa.var(axis=(0, 2, 3))
+        m = self.momentum
+        self.running_mean *= 1 - m
+        self.running_mean += m * batch_mean
+        self.running_var *= 1 - m
+        self.running_var += m * batch_var
+
+        def backward(g: np.ndarray) -> None:
+            dx, dgamma, dbeta = batchnorm_backward(g, cache)
+            if x.requires_grad:
+                x.accumulate_grad(dx)
+            gamma.accumulate_grad(dgamma)
+            beta.accumulate_grad(dbeta)
+
+        return Tensor.from_op(y, (x, gamma, beta), backward, "batchnorm")
+
+    def _eager_infer(self, x: Tensor) -> Tensor:
+        gamma, beta = self.gamma, self.beta
+        y = batchnorm_infer(x.data, gamma.data, beta.data,
+                            self.running_mean, self.running_var, self.eps)
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = (gamma.data * inv_std).reshape(1, -1, 1, 1)
+
+        def backward(g: np.ndarray) -> None:
+            if x.requires_grad:
+                x.accumulate_grad(g * scale.astype(g.dtype))
+
+        return Tensor.from_op(y, (x, gamma, beta), backward, "batchnorm_infer")
+
+    def _trace(self, x: ShapeProbe) -> ShapeProbe:
+        tr = x.tracer
+        numel = x.size
+        nbytes = tr.tensor_bytes(x.shape)
+        # Two reduction passes plus the normalize pass.
+        tr.emit("batchnorm_fwd", "pointwise_fwd", 8 * numel, 3 * nbytes)
+        tr.note_activation(x.shape)  # xhat cache kept for backward
+        if tr.include_backward:
+            tr.emit("batchnorm_bwd", "pointwise_bwd", 11 * numel, 4 * nbytes)
+        return x

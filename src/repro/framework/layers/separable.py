@@ -1,0 +1,112 @@
+"""Depthwise-separable (atrous) convolution layer.
+
+Stock DeepLabv3+ factorizes its spatial convolutions; the SC18 network
+keeps them dense for GPU efficiency.  :class:`SeparableConv2D` = depthwise
+k x k (with optional dilation) + pointwise 1x1, with the ~k^2 FLOP saving
+visible in the traced kernel records.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init as initializers
+from ..graph import ShapeProbe
+from ..module import Module
+from ..ops.conv import conv_output_size
+from ..ops.depthwise import (
+    depthwise_conv2d_backward_input,
+    depthwise_conv2d_backward_weight,
+    depthwise_conv2d_flops,
+    depthwise_conv2d_forward,
+)
+from ..parameter import Parameter
+from ..tensor import Tensor
+from .conv import Conv2D, _resolve_padding
+
+__all__ = ["DepthwiseConv2D", "SeparableConv2D"]
+
+
+class DepthwiseConv2D(Module):
+    """Per-channel k x k convolution (one filter per input channel)."""
+
+    def __init__(self, channels: int, kernel: int, stride: int = 1,
+                 padding="same", dilation: int = 1,
+                 rng: np.random.Generator | None = None, name: str = "dwconv"):
+        super().__init__()
+        self.channels = int(channels)
+        self.kernel = int(kernel)
+        self.stride = int(stride)
+        self.dilation = int(dilation)
+        self.padding = _resolve_padding(padding, self.kernel, self.dilation)
+        rng = rng or np.random.default_rng(0)
+        # He init with fan_in = k*k (one input channel per filter).
+        std = np.sqrt(2.0 / (self.kernel * self.kernel))
+        self.weight = Parameter(
+            rng.normal(0.0, std, size=(channels, kernel, kernel)).astype(np.float32),
+            name=f"{name}.weight",
+        )
+
+    def output_hw(self, h: int, w: int) -> tuple[int, int]:
+        return (
+            conv_output_size(h, self.kernel, self.stride, self.padding, self.dilation),
+            conv_output_size(w, self.kernel, self.stride, self.padding, self.dilation),
+        )
+
+    def forward(self, x):
+        if isinstance(x, ShapeProbe):
+            return self._trace(x)
+        w = self.weight
+        stride, pad, dil = self.stride, self.padding, self.dilation
+        y = depthwise_conv2d_forward(x.data, w.data, stride, pad, dil)
+        x_shape, x_data = x.data.shape, x.data
+
+        def backward(g: np.ndarray) -> None:
+            if x.requires_grad:
+                x.accumulate_grad(depthwise_conv2d_backward_input(
+                    g, w.data, x_shape, stride, pad, dil))
+            if w.requires_grad:
+                w.accumulate_grad(depthwise_conv2d_backward_weight(
+                    g, x_data, w.data.shape, stride, pad, dil))
+
+        return Tensor.from_op(y, (x, w), backward,
+                              f"dwconv[{self.kernel}x{self.kernel}]")
+
+    def _trace(self, x: ShapeProbe) -> ShapeProbe:
+        tr = x.tracer
+        n, c, h, w = x.shape
+        if c != self.channels:
+            raise ValueError(f"depthwise conv expects {self.channels} channels, "
+                             f"probe has {c}")
+        oh, ow = self.output_hw(h, w)
+        k = self.kernel
+        flops = depthwise_conv2d_flops(n, c, oh, ow, k, k)
+        out_shape = (n, c, oh, ow)
+        nbytes = (tr.tensor_bytes(x.shape) + tr.tensor_bytes(self.weight.shape)
+                  + tr.tensor_bytes(out_shape))
+        tr.emit(f"dwconv{k}x{k}_fwd", "conv_fwd", flops, nbytes)
+        tr.note_activation(out_shape)
+        if tr.include_backward:
+            tr.emit(f"dwconv{k}x{k}_dgrad", "conv_bwd", flops, nbytes)
+            tr.emit(f"dwconv{k}x{k}_wgrad", "conv_bwd", flops, nbytes)
+        return ShapeProbe(out_shape, tr)
+
+
+class SeparableConv2D(Module):
+    """Depthwise k x k + pointwise 1x1 ("atrous separable convolution")."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 stride: int = 1, padding="same", dilation: int = 1,
+                 bias: bool = True, rng: np.random.Generator | None = None,
+                 name: str = "sep"):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.depthwise = DepthwiseConv2D(in_channels, kernel, stride=stride,
+                                         padding=padding, dilation=dilation,
+                                         rng=rng, name=f"{name}.dw")
+        self.pointwise = Conv2D(in_channels, out_channels, 1, bias=bias,
+                                rng=rng, name=f"{name}.pw")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def forward(self, x):
+        return self.pointwise(self.depthwise(x))

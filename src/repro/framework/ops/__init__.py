@@ -1,0 +1,59 @@
+"""Raw NumPy kernels (forward + backward) used by the layer library."""
+from .backends import CONV_BACKENDS, ConvAutotuner, conv2d_fft, conv2d_im2col
+from .conv import (
+    conv2d_backward_input,
+    conv2d_backward_weight,
+    conv2d_flops,
+    conv2d_forward,
+    conv_output_size,
+    conv_transpose_output_size,
+)
+from .depthwise import (
+    depthwise_conv2d_backward_input,
+    depthwise_conv2d_backward_weight,
+    depthwise_conv2d_flops,
+    depthwise_conv2d_forward,
+)
+from .norm import batchnorm_backward, batchnorm_forward, batchnorm_infer
+from .pool import (
+    avgpool2d_backward,
+    avgpool2d_forward,
+    maxpool2d_backward,
+    maxpool2d_forward,
+)
+from .shape import (
+    bilinear_upsample_backward,
+    bilinear_upsample_forward,
+    crop2d,
+    pad2d_backward,
+    pad2d_forward,
+)
+
+__all__ = [
+    "conv2d_forward",
+    "CONV_BACKENDS",
+    "ConvAutotuner",
+    "conv2d_im2col",
+    "conv2d_fft",
+    "depthwise_conv2d_forward",
+    "depthwise_conv2d_backward_input",
+    "depthwise_conv2d_backward_weight",
+    "depthwise_conv2d_flops",
+    "conv2d_backward_input",
+    "conv2d_backward_weight",
+    "conv2d_flops",
+    "conv_output_size",
+    "conv_transpose_output_size",
+    "batchnorm_forward",
+    "batchnorm_backward",
+    "batchnorm_infer",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "avgpool2d_forward",
+    "avgpool2d_backward",
+    "pad2d_forward",
+    "pad2d_backward",
+    "crop2d",
+    "bilinear_upsample_forward",
+    "bilinear_upsample_backward",
+]

@@ -1,0 +1,97 @@
+"""Depthwise convolution kernels.
+
+The DeepLabv3+ paper the authors build on is titled "Encoder-Decoder with
+Atrous *Separable* Convolution": its stock form factorizes 3x3 convs into a
+per-channel (depthwise) spatial conv followed by a 1x1 pointwise conv,
+cutting FLOPs by ~k^2.  The SC18 paper's modified network keeps dense convs
+(better Tensor-Core utilization), making separable-vs-dense a natural
+ablation — implemented here so the trade can be measured.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .conv import conv_output_size
+
+__all__ = [
+    "depthwise_conv2d_forward",
+    "depthwise_conv2d_backward_input",
+    "depthwise_conv2d_backward_weight",
+    "depthwise_conv2d_flops",
+]
+
+
+def _acc_dtype(dtype: np.dtype) -> np.dtype:
+    return np.dtype(np.float32) if dtype == np.float16 else np.dtype(dtype)
+
+
+def depthwise_conv2d_forward(
+    x: np.ndarray, w: np.ndarray, stride: int = 1, padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Per-channel convolution: x (N,C,H,W), w (C,KH,KW) -> (N,C,OH,OW)."""
+    n, c, h, wi = x.shape
+    cw, kh, kw = w.shape
+    if cw != c:
+        raise ValueError(f"channel mismatch: input {c}, weight {cw}")
+    oh = conv_output_size(h, kh, stride, padding, dilation)
+    ow = conv_output_size(wi, kw, stride, padding, dilation)
+    acc = _acc_dtype(x.dtype)
+    xp = (np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+          if padding else x).astype(acc, copy=False)
+    wa = w.astype(acc, copy=False)
+    out = np.zeros((n, c, oh, ow), dtype=acc)
+    for u in range(kh):
+        for v in range(kw):
+            xs = xp[:, :, u * dilation : u * dilation + (oh - 1) * stride + 1 : stride,
+                    v * dilation : v * dilation + (ow - 1) * stride + 1 : stride]
+            out += xs * wa[:, u, v][None, :, None, None]
+    return out.astype(x.dtype, copy=False)
+
+
+def depthwise_conv2d_backward_input(
+    grad_out: np.ndarray, w: np.ndarray, x_shape: tuple[int, int, int, int],
+    stride: int = 1, padding: int = 0, dilation: int = 1,
+) -> np.ndarray:
+    n, c, h, wi = x_shape
+    cw, kh, kw = w.shape
+    _, _, oh, ow = grad_out.shape
+    acc = _acc_dtype(grad_out.dtype)
+    g = grad_out.astype(acc, copy=False)
+    wa = w.astype(acc, copy=False)
+    dxp = np.zeros((n, c, h + 2 * padding, wi + 2 * padding), dtype=acc)
+    for u in range(kh):
+        for v in range(kw):
+            dxp[:, :, u * dilation : u * dilation + (oh - 1) * stride + 1 : stride,
+                v * dilation : v * dilation + (ow - 1) * stride + 1 : stride] += (
+                g * wa[:, u, v][None, :, None, None]
+            )
+    if padding:
+        dxp = dxp[:, :, padding:-padding, padding:-padding]
+    return dxp.astype(grad_out.dtype, copy=False)
+
+
+def depthwise_conv2d_backward_weight(
+    grad_out: np.ndarray, x: np.ndarray, w_shape: tuple[int, int, int],
+    stride: int = 1, padding: int = 0, dilation: int = 1,
+) -> np.ndarray:
+    n, c, h, wi = x.shape
+    cw, kh, kw = w_shape
+    _, _, oh, ow = grad_out.shape
+    acc = _acc_dtype(grad_out.dtype)
+    xp = (np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+          if padding else x).astype(acc, copy=False)
+    g = grad_out.astype(acc, copy=False)
+    dw = np.zeros((c, kh, kw), dtype=acc)
+    for u in range(kh):
+        for v in range(kw):
+            xs = xp[:, :, u * dilation : u * dilation + (oh - 1) * stride + 1 : stride,
+                    v * dilation : v * dilation + (ow - 1) * stride + 1 : stride]
+            dw[:, u, v] = (g * xs).sum(axis=(0, 2, 3))
+    return dw
+
+
+def depthwise_conv2d_flops(batch: int, channels: int, out_h: int, out_w: int,
+                           kernel_h: int, kernel_w: int) -> int:
+    """FLOPs: one multiply-add per tap per output element per channel."""
+    return 2 * batch * channels * out_h * out_w * kernel_h * kernel_w

@@ -1,0 +1,99 @@
+"""Shape-manipulating kernels: padding, cropping, bilinear interpolation.
+
+Bilinear upsampling is the cheap alternative the standard DeepLabv3+ decoder
+uses; the paper replaces it with learned full-resolution deconvolutions, but
+we keep bilinear available so both decoder variants can be compared (an
+ablation the modified architecture implies).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pad2d_forward",
+    "pad2d_backward",
+    "crop2d",
+    "bilinear_upsample_forward",
+    "bilinear_upsample_backward",
+]
+
+
+def pad2d_forward(x: np.ndarray, pad: tuple[int, int, int, int]) -> np.ndarray:
+    """Zero-pad (N,C,H,W) by (top, bottom, left, right)."""
+    t, b, l, r = pad
+    return np.pad(x, ((0, 0), (0, 0), (t, b), (l, r)))
+
+
+def pad2d_backward(grad_out: np.ndarray, pad: tuple[int, int, int, int]) -> np.ndarray:
+    t, b, l, r = pad
+    h, w = grad_out.shape[2], grad_out.shape[3]
+    return grad_out[:, :, t : h - b, l : w - r]
+
+
+def crop2d(x: np.ndarray, target_h: int, target_w: int) -> np.ndarray:
+    """Center-crop spatial dims down to (target_h, target_w)."""
+    h, w = x.shape[2], x.shape[3]
+    if h < target_h or w < target_w:
+        raise ValueError(f"cannot crop {h}x{w} to {target_h}x{target_w}")
+    dt = (h - target_h) // 2
+    dl = (w - target_w) // 2
+    return x[:, :, dt : dt + target_h, dl : dl + target_w]
+
+
+def _bilinear_weights(in_size: int, out_size: int, align_corners: bool):
+    """Source indices and blend weights for 1-D bilinear resampling."""
+    if out_size == 1:
+        pos = np.zeros(1)
+    elif align_corners:
+        pos = np.linspace(0.0, in_size - 1, out_size)
+    else:
+        scale = in_size / out_size
+        pos = np.maximum((np.arange(out_size) + 0.5) * scale - 0.5, 0.0)
+    lo = np.floor(pos).astype(np.int64)
+    lo = np.minimum(lo, in_size - 1)
+    hi = np.minimum(lo + 1, in_size - 1)
+    frac = (pos - lo).astype(np.float32)
+    return lo, hi, frac
+
+
+def bilinear_upsample_forward(
+    x: np.ndarray, out_h: int, out_w: int, align_corners: bool = False
+) -> np.ndarray:
+    """Resize (N,C,H,W) to (N,C,out_h,out_w) with bilinear interpolation."""
+    n, c, h, w = x.shape
+    ylo, yhi, yf = _bilinear_weights(h, out_h, align_corners)
+    xlo, xhi, xf = _bilinear_weights(w, out_w, align_corners)
+    acc = np.float64 if x.dtype == np.float64 else np.float32
+    xa = x.astype(acc, copy=False)
+    yf2 = yf[:, None]
+    xf2 = xf[None, :]
+    top = xa[:, :, ylo][:, :, :, xlo] * (1 - xf2) + xa[:, :, ylo][:, :, :, xhi] * xf2
+    bot = xa[:, :, yhi][:, :, :, xlo] * (1 - xf2) + xa[:, :, yhi][:, :, :, xhi] * xf2
+    out = top * (1 - yf2) + bot * yf2
+    return out.astype(x.dtype, copy=False)
+
+
+def bilinear_upsample_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    align_corners: bool = False,
+) -> np.ndarray:
+    """Adjoint of bilinear resize: scatter-add the four blend contributions."""
+    n, c, h, w = x_shape
+    _, _, oh, ow = grad_out.shape
+    ylo, yhi, yf = _bilinear_weights(h, oh, align_corners)
+    xlo, xhi, xf = _bilinear_weights(w, ow, align_corners)
+    acc = np.float64 if grad_out.dtype == np.float64 else np.float32
+    g = grad_out.astype(acc, copy=False)
+    dx = np.zeros((n, c, h, w), dtype=acc)
+    yf2 = yf[:, None]
+    xf2 = xf[None, :]
+    for ys, ywt in ((ylo, 1 - yf2), (yhi, yf2)):
+        for xs, xwt in ((xlo, 1 - xf2), (xhi, xf2)):
+            contrib = g * (ywt * xwt)
+            # Scatter along W then H via add.at on the flattened index grid.
+            yy = np.repeat(ys, ow)
+            xx = np.tile(xs, oh)
+            flat = contrib.reshape(n, c, oh * ow)
+            np.add.at(dx.reshape(n, c, h * w), (slice(None), slice(None), yy * w + xx), flat)
+    return dx.astype(grad_out.dtype, copy=False)

@@ -1,0 +1,59 @@
+"""Trainable parameters with optional FP32 master copies.
+
+In the paper's mixed-precision mode, the model computes in FP16 but the
+optimizer updates an FP32 *master* copy of each weight; the FP16 working copy
+is refreshed from the master after every step.  ``Parameter`` implements both
+the plain-FP32 and the master-copy regimes.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter"]
+
+
+class Parameter(Tensor):
+    """A leaf tensor that an optimizer updates.
+
+    Parameters
+    ----------
+    data:
+        Initial value (stored at the given ``dtype``).
+    name:
+        Dotted path assigned by the owning module tree; used by LARC (which
+        needs per-layer norms) and by Horovod-style gradient negotiation
+        (which needs stable tensor names across ranks).
+    """
+
+    __slots__ = ("name", "master")
+
+    def __init__(self, data, name: str = "param"):
+        super().__init__(np.asarray(data), requires_grad=True)
+        self.name = name
+        self.master: np.ndarray | None = None
+
+    def enable_master_copy(self) -> None:
+        """Keep an FP32 master copy for mixed-precision training."""
+        if self.master is None:
+            self.master = self.data.astype(np.float32)
+
+    def apply_update(self, delta: np.ndarray) -> None:
+        """Apply an additive update, routed through the master copy if any."""
+        if self.master is not None:
+            self.master = self.master + np.asarray(delta, dtype=np.float32)
+            self.data = self.master.astype(self.data.dtype)
+        else:
+            self.data = self.data + np.asarray(delta, dtype=self.data.dtype)
+
+    def master_value(self) -> np.ndarray:
+        """The highest-precision view of the parameter value."""
+        return self.master if self.master is not None else self.data
+
+    def cast_(self, dtype) -> None:
+        """In-place dtype change of the working copy (used by precision policy)."""
+        self.data = self.data.astype(dtype)
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.shape}, dtype={self.dtype})"

@@ -1,0 +1,111 @@
+"""Mixed-precision training utilities: loss scaling and the FP16 policy.
+
+The paper's FP16 runs use V100 Tensor Cores with FP32 accumulations; on the
+NumPy substrate the same numerics are achieved by storing activations and
+working weights in ``float16`` (kernels accumulate in FP32, see
+:mod:`repro.framework.ops.conv`) and keeping FP32 master weights in the
+optimizer.  Loss scaling keeps small gradients above the FP16 denormal
+threshold; *dynamic* loss scaling backs off when gradients overflow, which
+is exactly the mechanism that exposes the inverse-frequency-weight
+instability of Section V-B1.
+"""
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["LossScaler", "apply_fp16_policy", "grads_finite"]
+
+
+def grads_finite(params: Iterable[Parameter]) -> bool:
+    """True when every present gradient is finite (no inf/nan)."""
+    for p in params:
+        if p.grad is not None and not np.isfinite(p.grad).all():
+            return False
+    return True
+
+
+class LossScaler:
+    """Static or dynamic loss scaling for FP16 training.
+
+    Usage::
+
+        scaled = loss * scaler.scale
+        scaled.backward()
+        if scaler.step(params):   # unscales grads in place, True if finite
+            optimizer.step()
+    """
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**15,
+        dynamic: bool = True,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 200,
+        min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
+    ):
+        if init_scale <= 0:
+            raise ValueError("init_scale must be positive")
+        self.scale = float(init_scale)
+        self.dynamic = bool(dynamic)
+        self.growth_factor = float(growth_factor)
+        self.backoff_factor = float(backoff_factor)
+        self.growth_interval = int(growth_interval)
+        self.min_scale = float(min_scale)
+        self.max_scale = float(max_scale)
+        self._good_steps = 0
+        self.num_overflows = 0
+
+    def scale_loss(self, loss):
+        """Multiply the loss tensor by the current scale (autodiff-aware)."""
+        return loss * self.scale
+
+    def step(self, params: Iterable[Parameter]) -> bool:
+        """Unscale gradients in place; returns False if the step must be skipped.
+
+        On overflow (non-finite grads) the gradients are zeroed, the scale is
+        reduced (dynamic mode), and False is returned so the caller skips the
+        optimizer update — the standard mixed-precision recipe.
+        """
+        params = list(params)
+        finite = grads_finite(params)
+        if not finite:
+            self.num_overflows += 1
+            for p in params:
+                p.grad = None
+            if self.dynamic:
+                self.scale = max(self.scale * self.backoff_factor, self.min_scale)
+            self._good_steps = 0
+            return False
+        inv = 1.0 / self.scale
+        for p in params:
+            if p.grad is not None:
+                # Unscale into FP32 so the master-weight update is precise.
+                p.grad = p.grad.astype(np.float32) * inv
+        if self.dynamic:
+            self._good_steps += 1
+            if self._good_steps >= self.growth_interval:
+                self.scale = min(self.scale * self.growth_factor, self.max_scale)
+                self._good_steps = 0
+        return True
+
+
+def apply_fp16_policy(model: Module) -> Module:
+    """Convert a model to the paper's mixed-precision regime.
+
+    Conv/deconv weights get FP16 working copies with FP32 masters; batch-norm
+    parameters stay FP32 (the cuDNN convention — they are tiny and
+    precision-sensitive).
+    """
+    for _, p in model.named_parameters():
+        if p.data.ndim >= 2:  # conv / deconv kernels
+            p.enable_master_copy()
+            p.cast_(np.float16)
+        # 1-D params (BN gamma/beta, biases) remain FP32.
+    return model

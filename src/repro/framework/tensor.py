@@ -1,0 +1,415 @@
+"""A small reverse-mode autodiff tensor on top of NumPy.
+
+This plays the role TensorFlow plays in the paper: networks are built from
+differentiable operations recorded on a tape, and ``Tensor.backward`` runs the
+reverse pass.  The tape doubles as the *operation graph* that the paper's
+FLOP-counting methodology (Section VI) traverses; see
+:mod:`repro.framework.graph` for the symbolic analysis counterpart.
+
+Only the operations the segmentation networks need are implemented, but each
+is implemented completely (forward + backward, with broadcasting) and is
+validated against finite differences in the test-suite.
+"""
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "concatenate", "stack", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling tape recording (like ``torch.no_grad``)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An n-d array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``np.ndarray`` (dtype preserved,
+        Python floats become float64).
+    requires_grad:
+        Whether gradients should flow to this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op_name")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.op_name = "leaf"
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def from_op(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op_name: str,
+    ) -> "Tensor":
+        """Create a tensor produced by an op, wiring the tape.
+
+        ``backward`` receives the upstream gradient and is responsible for
+        calling :meth:`accumulate_grad` on each parent that requires grad.
+        """
+        req = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        out.requires_grad = req
+        if req:
+            out._backward = backward
+            out._parents = tuple(parents)
+            out.op_name = op_name
+        return out
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the raw ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def astype(self, dtype) -> "Tensor":
+        dtype = np.dtype(dtype)
+        src_dtype = self.data.dtype
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g.astype(src_dtype))
+
+        return Tensor.from_op(self.data.astype(dtype), (self,), backward, f"cast[{dtype}]")
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}, op={self.op_name!r})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- autodiff ----------------------------------------------------------
+
+    def accumulate_grad(self, g: np.ndarray) -> None:
+        """Add ``g`` into this tensor's gradient buffer."""
+        if not self.requires_grad:
+            return
+        g = np.asarray(g, dtype=self.data.dtype)
+        if self.grad is None:
+            self.grad = g.copy() if g.base is not None or g is self.data else g
+        else:
+            self.grad = self.grad + g
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (so ``loss.backward()`` works for scalars).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        # Topological order over the tape.
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in seen and p.requires_grad:
+                    stack.append((p, False))
+        self.accumulate_grad(np.asarray(grad, dtype=self.data.dtype))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # -- arithmetic --------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(np.asarray(other))
+
+    def __add__(self, other):
+        other = Tensor._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(_unbroadcast(g, self.shape))
+            other.accumulate_grad(_unbroadcast(g, other.shape))
+
+        return Tensor.from_op(out_data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = Tensor._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(_unbroadcast(g, self.shape))
+            other.accumulate_grad(_unbroadcast(-g, other.shape))
+
+        return Tensor.from_op(out_data, (self, other), backward, "sub")
+
+    def __rsub__(self, other):
+        return Tensor._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = Tensor._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(_unbroadcast(g * other.data, self.shape))
+            other.accumulate_grad(_unbroadcast(g * self.data, other.shape))
+
+        return Tensor.from_op(out_data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(_unbroadcast(g / other.data, self.shape))
+            other.accumulate_grad(
+                _unbroadcast(-g * self.data / (other.data * other.data), other.shape)
+            )
+
+        return Tensor.from_op(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other):
+        return Tensor._coerce(other).__truediv__(self)
+
+    def __neg__(self):
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(-g)
+
+        return Tensor.from_op(-self.data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: float):
+        exponent = float(exponent)
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * exponent * self.data ** (exponent - 1.0))
+
+        return Tensor.from_op(out_data, (self,), backward, "pow")
+
+    def __matmul__(self, other):
+        other = Tensor._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                ga = g @ np.swapaxes(other.data, -1, -2)
+                self.accumulate_grad(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                gb = np.swapaxes(self.data, -1, -2) @ g
+                other.accumulate_grad(_unbroadcast(gb, other.shape))
+
+        return Tensor.from_op(out_data, (self, other), backward, "matmul")
+
+    # -- reductions / shape ------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            gg = np.asarray(g)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                gg = np.expand_dims(gg, axis=axes)
+            self.accumulate_grad(np.broadcast_to(gg, self.shape))
+
+        return Tensor.from_op(out_data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for a in axes:
+                count *= self.shape[a % self.ndim]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        src_shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g.reshape(src_shape))
+
+        return Tensor.from_op(self.data.reshape(shape), (self,), backward, "reshape")
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inv = np.argsort(axes)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(np.transpose(g, inv))
+
+        return Tensor.from_op(np.transpose(self.data, axes), (self,), backward, "transpose")
+
+    def __getitem__(self, idx):
+        out_data = self.data[idx]
+
+        def backward(g: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, idx, g)
+            self.accumulate_grad(full)
+
+        return Tensor.from_op(out_data, (self,), backward, "getitem")
+
+    # -- elementwise non-linearities ----------------------------------------
+
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * out_data)
+
+        return Tensor.from_op(out_data, (self,), backward, "exp")
+
+    def log(self):
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g / self.data)
+
+        return Tensor.from_op(np.log(self.data), (self,), backward, "log")
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * 0.5 / out_data)
+
+        return Tensor.from_op(out_data, (self,), backward, "sqrt")
+
+    def relu(self):
+        mask = self.data > 0
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * mask)
+
+        return Tensor.from_op(self.data * mask, (self,), backward, "relu")
+
+    def sigmoid(self):
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * out_data * (1.0 - out_data))
+
+        return Tensor.from_op(out_data, (self,), backward, "sigmoid")
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * (1.0 - out_data * out_data))
+
+        return Tensor.from_op(out_data, (self,), backward, "tanh")
+
+    def clip(self, lo: float, hi: float):
+        mask = (self.data >= lo) & (self.data <= hi)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * mask)
+
+        return Tensor.from_op(np.clip(self.data, lo, hi), (self,), backward, "clip")
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation (Tiramisu's skip connections use this)."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(lo, hi)
+            t.accumulate_grad(g[tuple(sl)])
+
+    return Tensor.from_op(data, tensors, backward, "concat")
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new axis."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            t.accumulate_grad(np.take(g, i, axis=axis))
+
+    return Tensor.from_op(data, tensors, backward, "stack")

@@ -1,0 +1,37 @@
+"""HPC substrate: machine specs, event simulation, storage/network models."""
+from .events import EventQueue
+from .filesystem import SharedFileSystem
+from .network import FabricModel
+from .specs import (
+    P100,
+    PIZ_DAINT,
+    SUMMIT,
+    V100,
+    FileSystemSpec,
+    GpuSpec,
+    NodeSpec,
+    SystemSpec,
+)
+from .storage import NodeLocalStorage, daint_tmpfs, summit_ssd
+from .topology import TopologyStats, dragonfly, fat_tree, topology_stats
+
+__all__ = [
+    "GpuSpec",
+    "NodeSpec",
+    "SystemSpec",
+    "FileSystemSpec",
+    "V100",
+    "P100",
+    "SUMMIT",
+    "PIZ_DAINT",
+    "EventQueue",
+    "SharedFileSystem",
+    "FabricModel",
+    "NodeLocalStorage",
+    "summit_ssd",
+    "daint_tmpfs",
+    "TopologyStats",
+    "fat_tree",
+    "dragonfly",
+    "topology_stats",
+]

@@ -1,0 +1,59 @@
+"""A minimal discrete-event simulation engine.
+
+Used by the input-pipeline and staging simulators to model producer/consumer
+queues and bandwidth contention over time.  Deterministic: ties in event time
+break by insertion order.
+"""
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Priority queue of timed callbacks."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in time order; returns the final clock value."""
+        while self._heap:
+            if max_events is not None and self._processed >= max_events:
+                break
+            time, _, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            callback()
+            self._processed += 1
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed

@@ -1,0 +1,53 @@
+"""Node-local storage models (burst-buffer SSD, tmpfs).
+
+Summit stages data onto 800 GB node-local NVMe; Piz Daint has no local disk,
+so staging targets a tmpfs slice of DRAM — much faster but far smaller,
+which is why per-node sample counts matter there (Section V-A1).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NodeLocalStorage", "summit_ssd", "daint_tmpfs"]
+
+
+@dataclass
+class NodeLocalStorage:
+    """Capacity/bandwidth model of one node's staging target."""
+
+    kind: str             # "ssd" or "tmpfs"
+    capacity_bytes: float
+    read_bandwidth: float
+    write_bandwidth: float
+
+    def fits(self, nbytes: float) -> bool:
+        return nbytes <= self.capacity_bytes
+
+    def max_samples(self, sample_bytes: float) -> int:
+        """How many staged samples fit."""
+        if sample_bytes <= 0:
+            raise ValueError("sample_bytes must be positive")
+        return int(self.capacity_bytes // sample_bytes)
+
+    def write_time(self, nbytes: float) -> float:
+        return nbytes / self.write_bandwidth
+
+    def read_time(self, nbytes: float) -> float:
+        return nbytes / self.read_bandwidth
+
+    def sustained_read_rate(self, demand: float) -> float:
+        """Delivered read bandwidth for a given demand."""
+        return min(demand, self.read_bandwidth)
+
+
+def summit_ssd() -> NodeLocalStorage:
+    """Summit's burst-buffer share of the node NVMe."""
+    return NodeLocalStorage(kind="ssd", capacity_bytes=800.0e9,
+                            read_bandwidth=6.0e9, write_bandwidth=2.1e9)
+
+
+def daint_tmpfs(dram_bytes: float = 64.0e9, reserved_frac: float = 0.5) -> NodeLocalStorage:
+    """Piz Daint's only staging option: a tmpfs slice of the 64 GB DRAM."""
+    return NodeLocalStorage(kind="tmpfs",
+                            capacity_bytes=dram_bytes * reserved_frac,
+                            read_bandwidth=40.0e9, write_bandwidth=20.0e9)

@@ -1,0 +1,96 @@
+"""Interconnect topologies: non-blocking fat-tree (Summit) and Dragonfly
+(Piz Daint, diameter 5).
+
+Built as explicit graphs (networkx) so hop counts, diameters and bisection
+estimates come from structure rather than constants; the collective cost
+models consume the average hop count as a latency multiplier.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["TopologyStats", "fat_tree", "dragonfly", "topology_stats"]
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Structural summary used by latency models."""
+
+    nodes: int
+    switches: int
+    diameter: int
+    avg_hops: float
+
+
+def fat_tree(pods: int = 4, hosts_per_edge: int = 4) -> nx.Graph:
+    """A k-ary-fat-tree-like, non-blocking two-tier Clos network.
+
+    ``pods`` edge switches each serve ``hosts_per_edge`` hosts and connect to
+    every core switch (``pods // 2`` cores), giving full bisection.
+    """
+    if pods < 2 or hosts_per_edge < 1:
+        raise ValueError("need >= 2 pods and >= 1 host per edge switch")
+    g = nx.Graph()
+    cores = max(pods // 2, 1)
+    for c in range(cores):
+        g.add_node(("core", c), kind="switch")
+    for p in range(pods):
+        g.add_node(("edge", p), kind="switch")
+        for c in range(cores):
+            g.add_edge(("edge", p), ("core", c))
+        for h in range(hosts_per_edge):
+            g.add_node(("host", p, h), kind="host")
+            g.add_edge(("host", p, h), ("edge", p))
+    return g
+
+
+def dragonfly(groups: int = 5, routers_per_group: int = 4,
+              hosts_per_router: int = 2) -> nx.Graph:
+    """A canonical Dragonfly: all-to-all routers inside a group, one global
+    link between every pair of groups (spread over the routers)."""
+    if groups < 2 or routers_per_group < 2:
+        raise ValueError("need >= 2 groups and >= 2 routers per group")
+    g = nx.Graph()
+    for gr in range(groups):
+        for r in range(routers_per_group):
+            g.add_node(("router", gr, r), kind="switch")
+            for h in range(hosts_per_router):
+                g.add_node(("host", gr, r, h), kind="host")
+                g.add_edge(("host", gr, r, h), ("router", gr, r))
+        # intra-group all-to-all
+        for a in range(routers_per_group):
+            for b in range(a + 1, routers_per_group):
+                g.add_edge(("router", gr, a), ("router", gr, b))
+    # one global link per group pair, round-robin over routers
+    for a in range(groups):
+        for b in range(a + 1, groups):
+            ra = (a + b) % routers_per_group
+            rb = (a * b) % routers_per_group
+            g.add_edge(("router", a, ra), ("router", b, rb))
+    return g
+
+
+def topology_stats(g: nx.Graph, sample: int = 64, seed: int = 0) -> TopologyStats:
+    """Diameter and average host-to-host hop count (sampled for big graphs)."""
+    hosts = [n for n, d in g.nodes(data=True) if d.get("kind") == "host"]
+    switches = [n for n, d in g.nodes(data=True) if d.get("kind") == "switch"]
+    rng = np.random.default_rng(seed)
+    if len(hosts) < 2:
+        raise ValueError("topology needs at least two hosts")
+    pairs = []
+    if len(hosts) * (len(hosts) - 1) // 2 <= sample:
+        pairs = [(a, b) for i, a in enumerate(hosts) for b in hosts[i + 1 :]]
+    else:
+        idx = rng.integers(0, len(hosts), size=(sample, 2))
+        pairs = [(hosts[i], hosts[j]) for i, j in idx if i != j]
+    lengths = [nx.shortest_path_length(g, a, b) for a, b in pairs]
+    diameter = max(lengths)
+    return TopologyStats(
+        nodes=len(hosts),
+        switches=len(switches),
+        diameter=int(diameter),
+        avg_hops=float(np.mean(lengths)),
+    )

@@ -1,0 +1,25 @@
+"""I/O substrate: staging strategies, reader models, input pipeline."""
+from .pipeline import PipelineSimulator, PipelineStats, PrefetchPipeline, pipeline_throughput
+from .readers import ReadResult, ThreadedReader, scaled_read_bandwidth
+from .staging import (
+    StagingReport,
+    assign_disjoint_pieces,
+    plan_staging,
+    stage_distributed,
+    stage_files_to_disk,
+)
+
+__all__ = [
+    "scaled_read_bandwidth",
+    "ThreadedReader",
+    "ReadResult",
+    "StagingReport",
+    "plan_staging",
+    "stage_distributed",
+    "stage_files_to_disk",
+    "assign_disjoint_pieces",
+    "PipelineSimulator",
+    "PipelineStats",
+    "PrefetchPipeline",
+    "pipeline_throughput",
+]

@@ -1,0 +1,269 @@
+"""Data-staging strategies: naive per-node reads vs distributed staging.
+
+Section V-A1 of the paper:
+
+* **Naive**: each of N nodes independently copies its own ``files_per_node``
+  subset from the parallel file system.  At 1024 nodes with 1500 files each,
+  every file is read by ~23 nodes on average; the copy took 10-20 minutes
+  and "rendered the global file system nearly unusable".
+* **Distributed**: the dataset is divided into *disjoint* pieces, each rank
+  reads its piece (with multi-threaded readers), and point-to-point MPI
+  messages redistribute copies over the much faster compute fabric.  1024
+  (4500) nodes stage in under 3 (7) minutes.
+
+This module provides both an analytic cost model over the machine specs
+(:func:`plan_staging`) and a *functional* implementation of the distributed
+algorithm over the simulated MPI wire (:func:`stage_distributed`), so the
+partition/redistribution logic itself is exercised and verified, not just
+timed.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.simmpi import World
+from ..hpc.filesystem import SharedFileSystem
+from ..hpc.network import FabricModel
+from ..hpc.specs import SystemSpec
+from .readers import scaled_read_bandwidth
+
+__all__ = ["StagingReport", "plan_staging", "stage_distributed",
+           "assign_disjoint_pieces", "stage_files_to_disk"]
+
+
+@dataclass(frozen=True)
+class StagingReport:
+    """Cost-model output for one staging strategy."""
+
+    strategy: str
+    nodes: int
+    files_per_node: int
+    file_bytes: float
+    fs_read_bytes: float          # bytes pulled from the parallel FS
+    fs_read_time_s: float
+    fs_saturation: float          # demand / capacity while reading
+    replication_factor: float     # avg FS reads per distinct file
+    redistribution_bytes: float   # bytes moved over the compute fabric
+    redistribution_time_s: float
+    local_write_time_s: float
+    total_time_s: float
+
+
+def plan_staging(
+    system: SystemSpec,
+    dataset_files: int,
+    file_bytes: float,
+    nodes: int,
+    files_per_node: int = 1500,
+    strategy: str = "distributed",
+    reader_threads: int = 8,
+) -> StagingReport:
+    """Analytic staging-time estimate on a given machine."""
+    if strategy not in ("naive", "distributed"):
+        raise ValueError(f"unknown staging strategy {strategy!r}")
+    if nodes < 1 or nodes > system.nodes:
+        raise ValueError(f"nodes {nodes} out of range for {system.name}")
+    fs = SharedFileSystem(system.filesystem)
+    node = system.node
+    per_node_bw = scaled_read_bandwidth(
+        reader_threads,
+        node.fs_read_bw_single_thread,
+        cap=node.fs_read_bw_multi_thread if reader_threads > 1 else None,
+    )
+    needed_bytes = nodes * files_per_node * file_bytes
+    local_write_time = files_per_node * file_bytes / node.local_storage_write_bw
+
+    if strategy == "naive":
+        # Every node reads its own (random) subset straight off the FS.
+        fs_read_bytes = needed_bytes
+        replication = nodes * files_per_node / dataset_files
+        read_time = fs.read_time(fs_read_bytes, nodes, per_node_bw)
+        saturation = fs.saturation(nodes, per_node_bw)
+        total = max(read_time, local_write_time)
+        return StagingReport(
+            strategy="naive", nodes=nodes, files_per_node=files_per_node,
+            file_bytes=file_bytes, fs_read_bytes=fs_read_bytes,
+            fs_read_time_s=read_time, fs_saturation=saturation,
+            replication_factor=replication, redistribution_bytes=0.0,
+            redistribution_time_s=0.0, local_write_time_s=local_write_time,
+            total_time_s=total,
+        )
+
+    # Distributed: read each distinct file once, then redistribute copies.
+    distinct = min(dataset_files, nodes * files_per_node)
+    fs_read_bytes = distinct * file_bytes
+    read_time = fs.read_time(fs_read_bytes, nodes, per_node_bw)
+    saturation = fs.saturation(nodes, per_node_bw)
+    redistribution_bytes = max(needed_bytes - fs_read_bytes, 0.0)
+    fabric = FabricModel(injection=node.injection, nodes=nodes)
+    redistribution_time = fabric.redistribution_time(redistribution_bytes,
+                                                     avg_message_bytes=file_bytes)
+    total = read_time + redistribution_time + local_write_time
+    return StagingReport(
+        strategy="distributed", nodes=nodes, files_per_node=files_per_node,
+        file_bytes=file_bytes, fs_read_bytes=fs_read_bytes,
+        fs_read_time_s=read_time, fs_saturation=saturation,
+        replication_factor=1.0, redistribution_bytes=redistribution_bytes,
+        redistribution_time_s=redistribution_time,
+        local_write_time_s=local_write_time, total_time_s=total,
+    )
+
+
+def assign_disjoint_pieces(num_files: int, ranks: int) -> list[np.ndarray]:
+    """Partition file indices into near-equal disjoint per-rank pieces."""
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    return [np.arange(num_files)[r::ranks] for r in range(ranks)]
+
+
+def stage_distributed(
+    world: World,
+    num_files: int,
+    files_per_rank: int,
+    seed: int = 0,
+) -> tuple[list[np.ndarray], dict]:
+    """Functionally execute the distributed staging protocol.
+
+    Each rank independently samples the ``files_per_rank`` file ids it wants
+    (with replacement across ranks — subsets overlap, as in the paper).  The
+    dataset is split into disjoint pieces; each rank "reads" its piece from
+    the FS, then point-to-point messages deliver every wanted file from the
+    rank that read it.
+
+    Returns the per-rank staged file-id arrays (sorted) and an accounting
+    dict: distinct files read, total requests, messages and a consistency
+    flag.  Payloads are file *ids* (metadata-sized); byte volumes are the
+    cost model's job.
+    """
+    rng = np.random.default_rng(seed)
+    n = world.size
+    wanted = [np.sort(rng.choice(num_files, size=files_per_rank, replace=False))
+              for _ in range(n)]
+    pieces = assign_disjoint_pieces(num_files, n)
+    owner = np.empty(num_files, dtype=np.int64)
+    for r, piece in enumerate(pieces):
+        owner[piece] = r
+
+    # Request phase: each rank asks the owner of every wanted file.
+    requests: dict[int, list[tuple[int, int]]] = {r: [] for r in range(n)}
+    for r in range(n):
+        for f in wanted[r]:
+            o = int(owner[f])
+            if o != r:
+                world.send(np.int64(f), r, o, tag=100)
+                requests[o].append((r, int(f)))
+    # Delivery phase: owners answer every request with the file payload.
+    for o in range(n):
+        for requester, f in requests[o]:
+            _ = world.recv(o, requester, tag=100)
+            world.send(np.int64(f), o, requester, tag=101)
+    staged = []
+    for r in range(n):
+        have = set(int(f) for f in wanted[r] if owner[f] == r)
+        for f in wanted[r]:
+            o = int(owner[f])
+            if o != r:
+                got = int(world.recv(r, o, tag=101))
+                have.add(got)
+        staged.append(np.sort(np.array(sorted(have), dtype=np.int64)))
+    distinct_read = len({int(f) for w in wanted for f in w})
+    consistent = all(np.array_equal(staged[r], wanted[r]) for r in range(n))
+    stats = {
+        "distinct_files_requested": distinct_read,
+        "total_requests": sum(len(v) for v in requests.values()),
+        "messages": world.stats.total_messages,
+        "consistent": consistent,
+    }
+    return staged, stats
+
+
+def stage_files_to_disk(
+    world: World,
+    source_dir,
+    dest_root,
+    files_per_rank: int,
+    seed: int = 0,
+) -> tuple[list, dict]:
+    """Execute distributed staging with *real files* on disk.
+
+    The full Section V-A1 protocol with actual bytes: the source directory
+    (the "parallel file system") holds one file per sample; each rank reads
+    only its disjoint piece, file contents travel to requesters as messages
+    over the simulated fabric, and every rank writes its staged set into its
+    own node-local directory ``dest_root/rank-<r>/``.
+
+    Returns the per-rank staged paths and an accounting dict including the
+    bytes that crossed the fabric (vs. what the naive strategy would have
+    pulled from the file system).
+    """
+    from pathlib import Path
+
+    source_dir = Path(source_dir)
+    dest_root = Path(dest_root)
+    files = sorted(source_dir.glob("data-*.npz"))
+    if not files:
+        raise ValueError(f"no data files in {source_dir}")
+    num_files = len(files)
+    rng = np.random.default_rng(seed)
+    n = world.size
+    wanted = [np.sort(rng.choice(num_files, size=files_per_rank, replace=False))
+              for _ in range(n)]
+    pieces = assign_disjoint_pieces(num_files, n)
+    owner = np.empty(num_files, dtype=np.int64)
+    for r, piece in enumerate(pieces):
+        owner[piece] = r
+    # Each owner reads its piece from the "file system" once.
+    cache: dict[int, bytes] = {}
+    fs_bytes = 0
+    for r, piece in enumerate(pieces):
+        for f in piece:
+            payload = files[int(f)].read_bytes()
+            cache[int(f)] = payload
+            fs_bytes += len(payload)
+    # Requests, then content delivery over the fabric.
+    requests: dict[int, list[tuple[int, int]]] = {r: [] for r in range(n)}
+    for r in range(n):
+        for f in wanted[r]:
+            o = int(owner[f])
+            if o != r:
+                world.send(np.int64(f), r, o, tag=200)
+                requests[o].append((r, int(f)))
+    fabric_bytes = 0
+    for o in range(n):
+        for requester, f in requests[o]:
+            _ = world.recv(o, requester, tag=200)
+            payload = np.frombuffer(cache[f], dtype=np.uint8)
+            fabric_bytes += payload.nbytes
+            world.send(payload, o, requester, tag=201)
+    staged_paths: list[list] = []
+    for r in range(n):
+        rank_dir = dest_root / f"rank-{r}"
+        rank_dir.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for f in wanted[r]:
+            o = int(owner[f])
+            if o == r:
+                data = cache[int(f)]
+            else:
+                data = world.recv(r, o, tag=201).tobytes()
+            path = rank_dir / files[int(f)].name
+            path.write_bytes(data)
+            paths.append(path)
+        staged_paths.append(paths)
+    # Verify content integrity against the source.
+    consistent = all(
+        p.read_bytes() == files[int(f)].read_bytes()
+        for r in range(n)
+        for p, f in zip(staged_paths[r], wanted[r])
+    )
+    naive_fs_bytes = sum(files[int(f)].stat().st_size
+                         for r in range(n) for f in wanted[r])
+    stats = {
+        "fs_bytes_read": fs_bytes,
+        "fabric_bytes": fabric_bytes,
+        "naive_fs_bytes": naive_fs_bytes,
+        "consistent": consistent,
+    }
+    return staged_paths, stats

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the benchmark harnesses."""
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "paper_vs_measured"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width table with a separator line, ready for stdout."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def paper_vs_measured(name: str, paper: float, measured: float,
+                      unit: str = "") -> str:
+    """One comparison line: paper value, reproduced value, ratio."""
+    ratio = measured / paper if paper else float("nan")
+    return (f"{name}: paper={paper:g}{unit}  measured={measured:g}{unit}  "
+            f"ratio={ratio:.2f}")

@@ -1,0 +1,72 @@
+"""Grid geometry."""
+import numpy as np
+import pytest
+
+from repro.climate import CHANNEL_NAMES, PAPER_CHANNELS, PAPER_GRID, Grid
+
+
+class TestGrid:
+    def test_paper_grid_dimensions(self):
+        # 0.25-degree 1152 x 768 (lon x lat), Section III-A2.
+        assert PAPER_GRID.nlat == 768
+        assert PAPER_GRID.nlon == 1152
+        assert PAPER_GRID.shape == (768, 1152)
+        np.testing.assert_allclose(PAPER_GRID.deg_per_cell_lat, 0.234375)
+
+    def test_sixteen_channels(self):
+        assert PAPER_CHANNELS == 16
+        assert len(CHANNEL_NAMES) == 16
+        assert "TMQ" in CHANNEL_NAMES and "PSL" in CHANNEL_NAMES
+
+    def test_lat_range(self):
+        g = Grid(96, 144)
+        lats = g.lats
+        assert lats[0] > -90 and lats[-1] < 90
+        assert np.all(np.diff(lats) > 0)
+        np.testing.assert_allclose(lats[0], -90 + 180 / 96 / 2)
+
+    def test_lon_range_periodic(self):
+        g = Grid(96, 144)
+        lons = g.lons
+        assert lons[0] > 0 and lons[-1] < 360
+
+    def test_index_roundtrip(self):
+        g = Grid(96, 144)
+        for lat in (-60.0, 0.0, 45.0):
+            i = g.lat_index(lat)
+            assert abs(g.lats[i] - lat) <= g.deg_per_cell_lat
+        for lon in (0.5, 180.0, 359.0):
+            j = g.lon_index(lon)
+            diff = abs(g.lons[j] - lon)
+            assert min(diff, 360 - diff) <= g.deg_per_cell_lon
+
+    def test_lon_index_wraps(self):
+        g = Grid(96, 144)
+        assert g.lon_index(361.0) == g.lon_index(1.0)
+        assert g.lon_index(-1.0) == g.lon_index(359.0)
+
+    def test_angular_distance_zero_at_center(self):
+        g = Grid(96, 144)
+        d = g.angular_distance_deg(10.0, 100.0)
+        i, j = g.lat_index(10.0), g.lon_index(100.0)
+        assert d[i, j] < 2.0
+        assert d.shape == g.shape
+
+    def test_angular_distance_periodic_in_lon(self):
+        g = Grid(96, 144)
+        d = g.angular_distance_deg(0.0, 1.0)
+        # A point just west of 0 degrees should be close, not ~360 away.
+        j_west = g.lon_index(359.0)
+        i_eq = g.lat_index(0.0)
+        assert d[i_eq, j_west] < 5.0
+
+    def test_too_small_grid_raises(self):
+        with pytest.raises(ValueError, match="too small"):
+            Grid(4, 100)
+
+    def test_meshgrid_shapes(self):
+        g = Grid(32, 48)
+        lat2d, lon2d = g.meshgrid()
+        assert lat2d.shape == (32, 48)
+        assert lon2d.shape == (32, 48)
+        assert np.all(lat2d[0] == g.lats[0])

@@ -1,0 +1,124 @@
+"""Synthetic CAM5 snapshot generation."""
+import numpy as np
+import pytest
+
+from repro.climate import CHANNEL_NAMES, Grid, SnapshotSynthesizer
+from repro.climate.cyclones import TropicalCyclone, imprint_cyclone, sample_cyclones
+from repro.climate.rivers import imprint_river, sample_rivers
+
+GRID = Grid(64, 96)
+
+
+class TestSynthesizer:
+    def test_deterministic_by_seed(self):
+        s = SnapshotSynthesizer(GRID)
+        a = s.generate(7).to_array()
+        b = s.generate(7).to_array()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        s = SnapshotSynthesizer(GRID)
+        assert not np.array_equal(s.generate(1).to_array(), s.generate(2).to_array())
+
+    def test_array_shape_and_order(self):
+        snap = SnapshotSynthesizer(GRID).generate(0)
+        arr = snap.to_array()
+        assert arr.shape == (16, 64, 96)
+        assert arr.dtype == np.float32
+        np.testing.assert_array_equal(arr[0], snap.fields["TMQ"])
+        assert snap.shape == (16, 64, 96)
+
+    def test_physical_floors(self):
+        snap = SnapshotSynthesizer(GRID, noise_scale=2.0).generate(3)
+        assert snap.fields["PRECT"].min() >= 0
+        assert snap.fields["TMQ"].min() >= 0
+
+    def test_moisture_peaks_in_tropics(self):
+        snap = SnapshotSynthesizer(GRID, mean_cyclones=0, mean_rivers=0,
+                                   noise_scale=0.0).generate(0)
+        tmq = snap.fields["TMQ"]
+        eq = tmq[GRID.lat_index(0.0)].mean()
+        pole = tmq[GRID.lat_index(80.0)].mean()
+        assert eq > 3 * pole
+
+    def test_noise_scale_zero_is_smooth(self):
+        a = SnapshotSynthesizer(GRID, mean_cyclones=0, mean_rivers=0,
+                                noise_scale=0.0).generate(0)
+        b = SnapshotSynthesizer(GRID, mean_cyclones=0, mean_rivers=0,
+                                noise_scale=0.0).generate(99)
+        np.testing.assert_array_equal(a.to_array(), b.to_array())
+
+    def test_events_recorded(self):
+        s = SnapshotSynthesizer(GRID, mean_cyclones=5.0, mean_rivers=3.0)
+        snap = s.generate(11)
+        assert isinstance(snap.cyclones, list)
+        assert isinstance(snap.rivers, list)
+
+    def test_all_channels_present(self):
+        snap = SnapshotSynthesizer(GRID).generate(0)
+        for name in CHANNEL_NAMES:
+            assert name in snap.fields
+            assert snap.fields[name].shape == GRID.shape
+
+
+class TestCyclones:
+    def _blank_fields(self):
+        return {name: np.zeros(GRID.shape) for name in CHANNEL_NAMES}
+
+    def test_sampled_in_tropics(self):
+        rng = np.random.default_rng(0)
+        storms = sample_cyclones(rng, mean_count=20)
+        for tc in storms:
+            assert 8.0 <= abs(tc.lat) <= 32.0
+
+    def test_imprint_pressure_depression(self):
+        fields = self._blank_fields()
+        tc = TropicalCyclone(lat=15.0, lon=120.0, radius_deg=3.0,
+                             depth_hpa=40.0, vmax=45.0, warm_core_k=3.0)
+        imprint_cyclone(fields, GRID, tc)
+        i, j = GRID.lat_index(15.0), GRID.lon_index(120.0)
+        assert fields["PSL"][i, j] < -3000.0      # ~40 hPa deficit
+        assert fields["T500"][i, j] > 1.0          # warm core
+        assert fields["TMQ"][i, j] > 10.0          # moist envelope
+
+    def test_cyclonic_rotation_sign(self):
+        for lat, sign in ((20.0, 1.0), (-20.0, -1.0)):
+            fields = self._blank_fields()
+            tc = TropicalCyclone(lat, 180.0, 3.0, 40.0, 40.0, 3.0)
+            imprint_cyclone(fields, GRID, tc)
+            # East of the center: northern storms blow northward (+V).
+            i = GRID.lat_index(lat)
+            j = GRID.lon_index(180.0 + 3.0)
+            assert np.sign(fields["V850"][i, j]) == sign
+
+    def test_wind_peaks_near_rmw(self):
+        fields = self._blank_fields()
+        tc = TropicalCyclone(10.0, 90.0, 3.0, 40.0, 50.0, 3.0)
+        imprint_cyclone(fields, GRID, tc)
+        speed = np.hypot(fields["U850"], fields["V850"])
+        assert speed.max() > 30.0
+        # The vortex is compact: winds decay well below peak far from center.
+        far = GRID.angular_distance_deg(10.0, 90.0) > 12.0
+        assert speed[far].max() < speed.max() / 2
+
+
+class TestRivers:
+    def _blank_fields(self):
+        return {name: np.zeros(GRID.shape) for name in CHANNEL_NAMES}
+
+    def test_waypoints_move_poleward(self):
+        rng = np.random.default_rng(1)
+        for ar in sample_rivers(rng, mean_count=10):
+            lats = [p[0] for p in ar.waypoints]
+            assert abs(lats[-1]) > abs(lats[0]) - 2.0
+
+    def test_imprint_moisture_filament(self):
+        rng = np.random.default_rng(2)
+        rivers = sample_rivers(rng, mean_count=10)
+        ar = rivers[0]
+        fields = self._blank_fields()
+        imprint_river(fields, GRID, ar)
+        assert fields["TMQ"].max() > 0.8 * ar.intensity
+        # The filament is narrow: wet area is a small fraction of the globe.
+        wet_frac = (fields["TMQ"] > ar.intensity / 2).mean()
+        assert 0 < wet_frac < 0.08

@@ -1,0 +1,194 @@
+"""Cyclone tracking across frames and storm-level analytics."""
+import numpy as np
+import pytest
+
+from repro.climate import (
+    Grid,
+    SnapshotSynthesizer,
+    TCCandidate,
+    Track,
+    advect_cyclone,
+    basin_summary,
+    cell_areas_km2,
+    cyclone_mask,
+    detect_cyclones,
+    generate_sequence,
+    radial_wind_profile,
+    storm_statistics,
+    track_cyclones,
+)
+from repro.climate.cyclones import TropicalCyclone, imprint_cyclone
+from repro.climate.grid import CHANNEL_NAMES
+
+GRID = Grid(64, 96)
+
+
+def cand(lat, lon):
+    return TCCandidate(lat_idx=0, lon_idx=0, lat=lat, lon=lon,
+                       depression_pa=2000.0, warm_core_k=2.0, wind_max=30.0)
+
+
+class TestAdvection:
+    def test_moves_west_and_poleward(self):
+        rng = np.random.default_rng(0)
+        tc = TropicalCyclone(15.0, 180.0, 3.0, 40.0, 45.0, 3.0)
+        moved = tc
+        for _ in range(8):  # one day of 3-hourly steps
+            moved = advect_cyclone(moved, rng)
+        dlon = (moved.lon - tc.lon + 180) % 360 - 180
+        assert dlon < 0          # westward
+        assert moved.lat > tc.lat  # poleward (NH)
+
+    def test_southern_hemisphere_drifts_south(self):
+        rng = np.random.default_rng(1)
+        tc = TropicalCyclone(-15.0, 90.0, 3.0, 40.0, 45.0, 3.0)
+        for _ in range(8):
+            tc = advect_cyclone(tc, rng)
+        assert tc.lat < -15.0
+
+    def test_intensity_bounded(self):
+        rng = np.random.default_rng(2)
+        tc = TropicalCyclone(15.0, 180.0, 3.0, 79.0, 89.0, 3.0)
+        for _ in range(50):
+            tc = advect_cyclone(tc, rng)
+            assert 8.0 <= tc.depth_hpa <= 80.0
+            assert 12.0 <= tc.vmax <= 90.0
+
+
+class TestSequence:
+    def test_sequence_shapes_and_truth(self):
+        snaps, truth = generate_sequence(GRID, steps=3, seed=5)
+        assert len(snaps) == 3 and len(truth) == 3
+        for snap in snaps:
+            assert snap.to_array().shape == (16,) + GRID.shape
+        # Storm count is constant across the sequence (no genesis/lysis yet).
+        counts = {len(t) for t in truth}
+        assert len(counts) == 1
+
+    def test_storms_actually_move(self):
+        _, truth = generate_sequence(GRID, steps=4, seed=7)
+        if truth[0]:
+            first, last = truth[0][0], truth[-1][0]
+            assert (first.lat, first.lon) != (last.lat, last.lon)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            generate_sequence(GRID, steps=0)
+
+
+class TestTracker:
+    def test_stitches_moving_storm(self):
+        frames = [[cand(15.0, 180.0)], [cand(15.5, 179.0)], [cand(16.0, 178.2)]]
+        tracks = track_cyclones(frames, max_step_deg=3.0, min_duration=2)
+        assert len(tracks) == 1
+        assert tracks[0].duration == 3
+        assert tracks[0].frames == [0, 1, 2]
+
+    def test_far_jump_starts_new_track(self):
+        frames = [[cand(15.0, 180.0)], [cand(15.0, 140.0)]]
+        tracks = track_cyclones(frames, max_step_deg=4.0, min_duration=1)
+        assert len(tracks) == 2
+
+    def test_min_duration_filters_flickers(self):
+        frames = [[cand(15.0, 180.0)], [], [cand(-20.0, 30.0)]]
+        tracks = track_cyclones(frames, min_duration=2)
+        assert tracks == []
+
+    def test_two_parallel_storms(self):
+        frames = [
+            [cand(15.0, 180.0), cand(-12.0, 40.0)],
+            [cand(15.4, 179.2), cand(-12.5, 39.3)],
+        ]
+        tracks = track_cyclones(frames, max_step_deg=3.0, min_duration=2)
+        assert len(tracks) == 2
+
+    def test_dateline_crossing(self):
+        frames = [[cand(15.0, 359.5)], [cand(15.2, 0.8)]]
+        tracks = track_cyclones(frames, max_step_deg=3.0, min_duration=2)
+        assert len(tracks) == 1
+
+    def test_displacement_positive_for_moving(self):
+        frames = [[cand(15.0, 180.0)], [cand(16.0, 179.0)]]
+        (track,) = track_cyclones(frames, min_duration=2)
+        assert track.displacement_deg(GRID) > 1.0
+
+    def test_end_to_end_on_synthetic_sequence(self):
+        synth = SnapshotSynthesizer(GRID, mean_cyclones=2.5, mean_rivers=0.0)
+        snaps, truth = generate_sequence(GRID, steps=4, seed=11,
+                                         synthesizer=synth)
+        per_frame = [detect_cyclones(s.fields, GRID) for s in snaps]
+        tracks = track_cyclones(per_frame, max_step_deg=5.0, min_duration=3)
+        n_truth = len(truth[0])
+        # The tracker recovers roughly the planted storm population.
+        assert abs(len(tracks) - n_truth) <= max(1, n_truth)
+
+
+class TestAnalytics:
+    def _storm_scene(self):
+        synth = SnapshotSynthesizer(GRID, mean_cyclones=0, mean_rivers=0,
+                                    noise_scale=0.3)
+        snap = synth.generate(3)
+        tc = TropicalCyclone(18.0, 140.0, 3.0, 45.0, 50.0, 3.5)
+        imprint_cyclone(snap.fields, GRID, tc)
+        cands = detect_cyclones(snap.fields, GRID)
+        mask = cyclone_mask(snap.fields, GRID, cands)
+        return snap, tc, mask
+
+    def test_cell_areas_cos_weighted(self):
+        areas = cell_areas_km2(GRID)
+        eq = areas[GRID.lat_index(0.0), 0]
+        polar = areas[GRID.lat_index(85.0), 0]
+        assert eq > 5 * polar
+        # Total within 2% of Earth's surface area.
+        assert areas.sum() == pytest.approx(5.1e8, rel=0.02)
+
+    def test_storm_statistics_locate_storm(self):
+        snap, tc, mask = self._storm_scene()
+        stats = storm_statistics(snap.fields, mask, GRID)
+        assert len(stats) == 1
+        s = stats[0]
+        assert abs(s.center_lat - tc.lat) < 4.0
+        assert s.max_wind_ms > 25.0
+        assert s.min_psl_hpa < 1005.0
+        assert s.power_dissipation_index > 0
+        assert s.area_km2 > 1e4
+
+    def test_conditional_precip_above_background(self):
+        snap, _, mask = self._storm_scene()
+        (s,) = storm_statistics(snap.fields, mask, GRID)
+        background = snap.fields["PRECT"][~mask].mean()
+        assert s.mean_conditional_precip > 2 * background
+
+    def test_empty_mask(self):
+        snap, _, _ = self._storm_scene()
+        assert storm_statistics(snap.fields, np.zeros(GRID.shape, bool), GRID) == []
+
+    def test_mask_shape_validated(self):
+        snap, _, _ = self._storm_scene()
+        with pytest.raises(ValueError):
+            storm_statistics(snap.fields, np.zeros((4, 4), bool), GRID)
+
+    def test_radial_profile_peaks_off_center(self):
+        snap, tc, _ = self._storm_scene()
+        radii, profile = radial_wind_profile(snap.fields, GRID, tc.lat, tc.lon,
+                                             max_radius_deg=12.0, bins=8)
+        assert len(radii) == 8
+        valid = ~np.isnan(profile)
+        peak_bin = int(np.nanargmax(profile))
+        # Peak wind near the radius of maximum wind (~2.25 deg), not at 0 or
+        # the outer edge.
+        assert 0 < radii[peak_bin] < 8.0
+        assert profile[valid].max() > 20.0
+
+    def test_radial_profile_validation(self):
+        snap, tc, _ = self._storm_scene()
+        with pytest.raises(ValueError):
+            radial_wind_profile(snap.fields, GRID, tc.lat, tc.lon, bins=0)
+
+    def test_basin_summary(self):
+        snap, _, mask = self._storm_scene()
+        stats = storm_statistics(snap.fields, mask, GRID)
+        summary = basin_summary(stats)
+        assert summary["count"] == 1
+        assert summary["total_pdi"] == stats[0].power_dissipation_index
+        assert basin_summary([])["count"] == 0

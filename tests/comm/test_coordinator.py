@@ -1,0 +1,127 @@
+"""Horovod control planes: total order, message bounds (Section V-A3)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    ReadinessSchedule,
+    centralized_negotiation,
+    hierarchical_negotiation,
+    tree_children,
+    tree_parent,
+)
+
+
+class TestTreeStructure:
+    def test_root_has_no_parent(self):
+        assert tree_parent(0, 4) is None
+
+    def test_parent_child_consistency(self):
+        size, radix = 50, 4
+        for r in range(1, size):
+            p = tree_parent(r, radix)
+            assert r in tree_children(p, radix, size)
+
+    def test_children_bounded_by_radix(self):
+        for r in range(20):
+            assert len(tree_children(r, 3, 20)) <= 3
+
+    def test_all_ranks_reachable(self):
+        size, radix = 37, 2
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for c in tree_children(node, radix, size):
+                seen.add(c)
+                frontier.append(c)
+        assert seen == set(range(size))
+
+
+class TestSchedule:
+    def test_shape(self):
+        s = ReadinessSchedule.random(8, 20, seed=0)
+        assert s.ranks == 8
+        assert s.tensors == 20
+        assert (s.times >= 0).all()
+
+    def test_ranks_disagree_on_order(self):
+        s = ReadinessSchedule.random(4, 50, seed=1)
+        orders = [tuple(np.argsort(s.times[r])) for r in range(4)]
+        assert len(set(orders)) > 1  # TF's independent scheduling
+
+
+class TestNegotiation:
+    def test_same_total_order_both_protocols(self):
+        s = ReadinessSchedule.random(32, 64, seed=2)
+        c = centralized_negotiation(s)
+        h = hierarchical_negotiation(s, radix=4)
+        assert c.order == h.order
+        assert sorted(c.order) == list(range(64))
+
+    def test_order_respects_readiness(self):
+        # A tensor everyone finished early is scheduled before a late one.
+        times = np.zeros((4, 2))
+        times[:, 1] = 10.0
+        s = ReadinessSchedule(times)
+        assert centralized_negotiation(s).order == [0, 1]
+
+    def test_centralized_root_load_linear_in_ranks(self):
+        t = 100
+        small = centralized_negotiation(ReadinessSchedule.random(16, t, seed=3))
+        big = centralized_negotiation(ReadinessSchedule.random(256, t, seed=3))
+        assert big.controller_load > 10 * small.controller_load
+        # Root handles 2 (n-1) messages per tensor.
+        assert big.controller_load == 2 * 255 * t
+
+    def test_hierarchical_bounded_per_rank(self):
+        # "no rank sends or receives more than r+1 messages for each tensor"
+        for radix in (2, 4, 8):
+            s = ReadinessSchedule.random(100, 30, seed=radix)
+            h = hierarchical_negotiation(s, radix=radix)
+            per_rank = (h.messages_sent + h.messages_received) / 30
+            assert per_rank.max() <= 2 * (radix + 1)
+
+    def test_hierarchical_scale_independent(self):
+        # Root load per tensor does not grow with world size.
+        t = 20
+        loads = []
+        for ranks in (64, 512):
+            s = ReadinessSchedule.random(ranks, t, seed=5)
+            h = hierarchical_negotiation(s, radix=4)
+            loads.append(h.per_tensor_max_messages())
+        assert loads[1] <= loads[0] + 1e-9
+
+    def test_radix_insensitivity_of_order(self):
+        # Paper: no measurable difference for radix 2..8; order certainly equal.
+        s = ReadinessSchedule.random(64, 40, seed=6)
+        orders = [hierarchical_negotiation(s, radix=r).order for r in (2, 4, 8)]
+        assert orders[0] == orders[1] == orders[2]
+
+    def test_invalid_radix(self):
+        s = ReadinessSchedule.random(4, 4)
+        with pytest.raises(ValueError):
+            hierarchical_negotiation(s, radix=0)
+
+    def test_decision_times_sorted(self):
+        s = ReadinessSchedule.random(16, 32, seed=7)
+        d = centralized_negotiation(s).decision_times
+        assert (np.diff(d) >= 0).all()
+
+    def test_hop_latency_delays_decisions(self):
+        s = ReadinessSchedule.random(64, 10, seed=8)
+        fast = hierarchical_negotiation(s, radix=2, hop_latency=0.0)
+        slow = hierarchical_negotiation(s, radix=2, hop_latency=1.0)
+        assert (slow.decision_times >= fast.decision_times).all()
+        assert slow.decision_times.sum() > fast.decision_times.sum()
+
+    @given(st.integers(2, 64), st.integers(1, 40), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_orders_agree_and_bounded(self, ranks, tensors, radix):
+        s = ReadinessSchedule.random(ranks, tensors, seed=ranks * tensors)
+        c = centralized_negotiation(s)
+        h = hierarchical_negotiation(s, radix=radix)
+        assert c.order == h.order
+        per_rank = (h.messages_sent + h.messages_received) / tensors
+        assert per_rank.max() <= 2 * (radix + 1)

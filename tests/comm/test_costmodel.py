@@ -1,0 +1,102 @@
+"""Alpha-beta cost models for collectives and control planes."""
+import pytest
+
+from repro.comm import (
+    Link,
+    centralized_control_time,
+    hierarchical_allreduce_time,
+    hierarchical_control_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+
+FAST = Link(alpha=1e-6, bandwidth=10e9)
+
+
+class TestRingTree:
+    def test_single_rank_free(self):
+        assert ring_allreduce_time(1, 1e6, FAST) == 0.0
+        assert tree_allreduce_time(1, 1e6, FAST) == 0.0
+
+    def test_ring_bandwidth_term_bounded(self):
+        # As n grows the bandwidth term approaches 2V/B.
+        v = 1e9
+        t_big = ring_allreduce_time(10_000, v, Link(alpha=0.0, bandwidth=10e9))
+        assert abs(t_big - 2 * v / 10e9) / (2 * v / 10e9) < 0.01
+
+    def test_ring_latency_linear(self):
+        link = Link(alpha=1e-5, bandwidth=1e15)
+        t1 = ring_allreduce_time(100, 1.0, link)
+        t2 = ring_allreduce_time(200, 1.0, link)
+        assert t2 / t1 == pytest.approx(398 / 198, rel=1e-6)
+
+    def test_tree_latency_logarithmic(self):
+        link = Link(alpha=1e-5, bandwidth=1e15)
+        t1 = tree_allreduce_time(16, 1.0, link)
+        t2 = tree_allreduce_time(256, 1.0, link)
+        assert t2 / t1 == pytest.approx(2.0, rel=1e-6)
+
+    def test_crossover_small_messages_favor_tree(self):
+        # Tiny payload, many ranks: tree (log rounds) beats ring (linear).
+        link = Link(alpha=5e-6, bandwidth=10e9)
+        v = 1e3
+        assert tree_allreduce_time(1024, v, link) < ring_allreduce_time(1024, v, link)
+
+    def test_crossover_large_messages_favor_ring(self):
+        # Huge payload, few ranks: ring's bandwidth optimality wins.
+        link = Link(alpha=5e-6, bandwidth=10e9)
+        v = 1e9
+        assert ring_allreduce_time(8, v, link) < tree_allreduce_time(8, v, link)
+
+    def test_monotone_in_volume(self):
+        assert ring_allreduce_time(8, 2e6, FAST) > ring_allreduce_time(8, 1e6, FAST)
+        assert tree_allreduce_time(8, 2e6, FAST) > tree_allreduce_time(8, 1e6, FAST)
+
+
+class TestHierarchical:
+    NVLINK = Link(alpha=3e-6, bandwidth=150e9)
+    IB = Link(alpha=1.5e-6, bandwidth=6.25e9)
+
+    def test_beats_flat_tree_over_all_gpus(self):
+        # The hybrid's rationale: NVLink absorbs the intra-node volume and
+        # only V/4 crosses each IB device.
+        nodes, v = 1024, 100e6
+        flat = tree_allreduce_time(nodes * 6, v, self.IB)
+        hybrid = hierarchical_allreduce_time(nodes, v, self.NVLINK, self.IB)
+        assert hybrid < flat
+
+    def test_single_node_is_nvlink_only(self):
+        t = hierarchical_allreduce_time(1, 10e6, self.NVLINK, self.IB)
+        # No inter-node term.
+        intra = ring_allreduce_time(6, 10e6, self.NVLINK)
+        assert t < 2 * intra + 1e-3
+
+    def test_more_parallel_devices_faster(self):
+        t2 = hierarchical_allreduce_time(512, 100e6, self.NVLINK, self.IB,
+                                         parallel_devices=2)
+        t4 = hierarchical_allreduce_time(512, 100e6, self.NVLINK, self.IB,
+                                         parallel_devices=4)
+        assert t4 < t2
+
+
+class TestControlPlane:
+    def test_centralized_linear_in_ranks(self):
+        t1 = centralized_control_time(1000, 110)
+        t2 = centralized_control_time(27360, 110)
+        assert t2 / t1 == pytest.approx(27359 / 999, rel=1e-6)
+
+    def test_hierarchical_nearly_flat(self):
+        t_small = hierarchical_control_time(1000, 110)
+        t_big = hierarchical_control_time(27360, 110)
+        assert t_big < 2 * t_small
+
+    def test_paper_magnitude_reduction(self):
+        # "millions of messages per second" -> "mere thousands": at 27360
+        # ranks the hierarchical plane is orders of magnitude cheaper.
+        ranks, tensors = 27360, 110
+        central = centralized_control_time(ranks, tensors)
+        hier = hierarchical_control_time(ranks, tensors)
+        assert central / hier > 100
+
+    def test_single_rank_free(self):
+        assert hierarchical_control_time(1, 110) == 0.0

@@ -1,0 +1,106 @@
+"""Horovod gradient exchange: fusion, averaging, configuration."""
+import numpy as np
+import pytest
+
+from repro.comm import HorovodConfig, World, allreduce_gradients, fuse_order
+
+
+class TestFusion:
+    def test_respects_threshold(self):
+        sizes = {"a": 40, "b": 40, "c": 40}
+        plan = fuse_order(["a", "b", "c"], sizes, threshold_bytes=80)
+        assert plan.groups == [["a", "b"], ["c"]]
+        assert plan.group_bytes == [80, 40]
+
+    def test_single_oversized_tensor_gets_own_group(self):
+        plan = fuse_order(["big", "a"], {"big": 1000, "a": 10}, threshold_bytes=100)
+        assert plan.groups == [["big"], ["a"]]
+
+    def test_order_preserved(self):
+        names = [f"t{i}" for i in range(10)]
+        plan = fuse_order(names, {n: 1 for n in names}, threshold_bytes=3)
+        flat = [n for g in plan.groups for n in g]
+        assert flat == names
+
+    def test_huge_threshold_single_collective(self):
+        plan = fuse_order(["a", "b"], {"a": 5, "b": 5}, threshold_bytes=10**9)
+        assert plan.num_collectives == 1
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = HorovodConfig()
+        assert cfg.algorithm == "hierarchical"
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            HorovodConfig(algorithm="smoke-signals")
+
+    def test_invalid_control_plane(self):
+        with pytest.raises(ValueError):
+            HorovodConfig(control_plane="anarchy")
+
+
+class TestExchange:
+    def _grads(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            {f"layer{i}.w": rng.normal(size=(4, 3)).astype(np.float32)
+             for i in range(5)}
+            for _ in range(n)
+        ]
+
+    @pytest.mark.parametrize("algo,n", [("ring", 4), ("tree", 5), ("naive", 3),
+                                        ("hierarchical", 12)])
+    def test_result_is_mean(self, algo, n):
+        grads = self._grads(n, seed=n)
+        w = World(n)
+        cfg = HorovodConfig(algorithm=algo, fusion_threshold_bytes=100)
+        avg, report = allreduce_gradients(w, grads, cfg)
+        expect = {k: np.mean([g[k] for g in grads], axis=0) for k in grads[0]}
+        for r in range(n):
+            for k in expect:
+                np.testing.assert_allclose(avg[r][k], expect[k], rtol=1e-5,
+                                           atol=1e-6)
+
+    def test_all_ranks_identical(self):
+        grads = self._grads(4)
+        avg, _ = allreduce_gradients(World(4), grads,
+                                     HorovodConfig(algorithm="ring"))
+        for k in avg[0]:
+            for r in range(1, 4):
+                np.testing.assert_array_equal(avg[r][k], avg[0][k])
+
+    def test_fusion_reduces_collectives(self):
+        grads = self._grads(4)
+        w = World(4)
+        small = allreduce_gradients(w, grads, HorovodConfig(
+            algorithm="ring", fusion_threshold_bytes=8))[1]
+        big = allreduce_gradients(World(4), grads, HorovodConfig(
+            algorithm="ring", fusion_threshold_bytes=10**9))[1]
+        assert big.fusion.num_collectives < small.fusion.num_collectives
+        assert big.fusion.num_collectives == 1
+
+    def test_name_mismatch_raises(self):
+        grads = self._grads(2)
+        grads[1] = {"other": np.zeros((2, 2), dtype=np.float32)}
+        with pytest.raises(ValueError, match="differ"):
+            allreduce_gradients(World(2), grads)
+
+    def test_wrong_rank_count_raises(self):
+        with pytest.raises(ValueError, match="gradient dicts"):
+            allreduce_gradients(World(3), self._grads(2))
+
+    def test_report_counts_traffic(self):
+        grads = self._grads(4)
+        _, report = allreduce_gradients(World(4), grads,
+                                        HorovodConfig(algorithm="ring"))
+        assert report.data_messages > 0
+        assert report.data_bytes > 0
+        assert len(report.negotiation.order) == 5
+
+    def test_dtype_preserved(self):
+        grads = [{"w": np.ones((2, 2), dtype=np.float16)} for _ in range(2)]
+        avg, _ = allreduce_gradients(World(2), grads,
+                                     HorovodConfig(algorithm="ring"))
+        assert avg[0]["w"].dtype == np.float16

@@ -1,0 +1,148 @@
+"""All-reduce algorithms: exactness and traffic shape."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    World,
+    hierarchical_allreduce,
+    naive_allreduce,
+    ring_allreduce,
+    tree_allreduce,
+)
+
+ALGOS = {
+    "naive": (naive_allreduce, {}),
+    "ring": (ring_allreduce, {}),
+    "tree": (tree_allreduce, {}),
+}
+
+
+def make_buffers(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=size).astype(np.float32) for _ in range(n)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algo", list(ALGOS))
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_sum_exact(self, algo, n):
+        fn, kw = ALGOS[algo]
+        bufs = make_buffers(n, 23, seed=n)
+        expect = np.sum(bufs, axis=0)
+        w = World(n)
+        results = fn(w, bufs, **kw)
+        for r in results:
+            np.testing.assert_allclose(r, expect, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("algo", list(ALGOS))
+    def test_average(self, algo):
+        fn, kw = ALGOS[algo]
+        bufs = make_buffers(4, 17)
+        w = World(4)
+        results = fn(w, bufs, average=True, **kw)
+        expect = np.mean(bufs, axis=0)
+        for r in results:
+            np.testing.assert_allclose(r, expect, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("gpn,mrpn,nodes", [(6, 4, 2), (6, 4, 4), (6, 6, 3),
+                                                (4, 2, 2), (6, 1, 2), (6, 4, 1)])
+    def test_hierarchical_sum(self, gpn, mrpn, nodes):
+        n = gpn * nodes
+        bufs = make_buffers(n, 31, seed=n)
+        expect = np.sum(bufs, axis=0)
+        w = World(n)
+        results = hierarchical_allreduce(w, bufs, gpus_per_node=gpn,
+                                         mpi_ranks_per_node=mrpn)
+        for r in results:
+            np.testing.assert_allclose(r, expect, rtol=1e-4, atol=1e-4)
+
+    def test_hierarchical_divisibility_check(self):
+        w = World(5)
+        with pytest.raises(ValueError, match="divisible"):
+            hierarchical_allreduce(w, make_buffers(5, 4), gpus_per_node=6)
+
+    def test_hierarchical_mpi_ranks_check(self):
+        w = World(6)
+        with pytest.raises(ValueError, match="mpi_ranks_per_node"):
+            hierarchical_allreduce(w, make_buffers(6, 4), gpus_per_node=6,
+                                   mpi_ranks_per_node=7)
+
+    def test_multidimensional_buffers(self):
+        bufs = [b.reshape(4, 6) for b in make_buffers(3, 24)]
+        w = World(3)
+        results = ring_allreduce(w, bufs)
+        assert results[0].shape == (4, 6)
+        np.testing.assert_allclose(results[0], np.sum(bufs, axis=0), rtol=1e-5)
+
+    def test_buffer_count_mismatch(self):
+        w = World(3)
+        with pytest.raises(ValueError, match="buffers"):
+            ring_allreduce(w, make_buffers(2, 4))
+
+    def test_buffer_shape_mismatch(self):
+        w = World(2)
+        with pytest.raises(ValueError, match="shape"):
+            ring_allreduce(w, [np.zeros(3), np.zeros(4)])
+
+    def test_inputs_not_mutated(self):
+        bufs = make_buffers(3, 11)
+        copies = [b.copy() for b in bufs]
+        ring_allreduce(World(3), bufs)
+        for b, c in zip(bufs, copies):
+            np.testing.assert_array_equal(b, c)
+
+
+class TestTrafficShape:
+    def test_ring_message_count(self):
+        # Reduce-scatter + all-gather: 2 (n-1) rounds of n messages.
+        n = 5
+        w = World(n)
+        ring_allreduce(w, make_buffers(n, 40))
+        assert w.stats.total_messages == 2 * (n - 1) * n
+
+    def test_ring_is_bandwidth_optimal(self):
+        # Each rank sends ~2 (n-1)/n * V bytes.
+        n, size = 4, 100
+        w = World(n)
+        ring_allreduce(w, make_buffers(n, size))
+        per_rank = w.stats.sent_bytes[0]
+        expect = 2 * (n - 1) / n * size * 4
+        assert abs(per_rank - expect) / expect < 0.1
+
+    def test_tree_message_count_logarithmic(self):
+        n = 8
+        w = World(n)
+        tree_allreduce(w, make_buffers(n, 16))
+        # Binomial reduce + broadcast: 2 (n-1) total messages.
+        assert w.stats.total_messages == 2 * (n - 1)
+
+    def test_naive_concentrates_on_root(self):
+        n = 6
+        w = World(n)
+        naive_allreduce(w, make_buffers(n, 8))
+        assert w.stats.recv_messages[0] == n - 1
+        assert w.stats.sent_messages[0] == n - 1
+
+
+class TestHypothesis:
+    @given(st.integers(2, 10), st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_ring_any_size(self, n, length):
+        bufs = make_buffers(n, length, seed=n * 100 + length)
+        w = World(n)
+        results = ring_allreduce(w, bufs)
+        expect = np.sum(bufs, axis=0)
+        for r in results:
+            np.testing.assert_allclose(r, expect, rtol=1e-4, atol=1e-4)
+
+    @given(st.integers(2, 12), st.integers(1, 32))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_any_size(self, n, length):
+        bufs = make_buffers(n, length, seed=n * 7 + length)
+        w = World(n)
+        results = tree_allreduce(w, bufs)
+        expect = np.sum(bufs, axis=0)
+        for r in results:
+            np.testing.assert_allclose(r, expect, rtol=1e-4, atol=1e-4)

@@ -1,0 +1,105 @@
+"""Functional MPI substrate."""
+import numpy as np
+import pytest
+
+from repro.comm import World
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        w = World(2)
+        w.send(np.arange(3), 0, 1)
+        out = w.recv(1, 0)
+        np.testing.assert_array_equal(out, [0, 1, 2])
+
+    def test_fifo_order_per_channel(self):
+        w = World(2)
+        w.send("a", 0, 1)
+        w.send("b", 0, 1)
+        assert w.recv(1, 0) == "a"
+        assert w.recv(1, 0) == "b"
+
+    def test_tags_separate_channels(self):
+        w = World(2)
+        w.send("x", 0, 1, tag=1)
+        w.send("y", 0, 1, tag=2)
+        assert w.recv(1, 0, tag=2) == "y"
+        assert w.recv(1, 0, tag=1) == "x"
+
+    def test_recv_without_message_is_deadlock(self):
+        w = World(2)
+        with pytest.raises(LookupError, match="deadlock"):
+            w.recv(1, 0)
+
+    def test_payload_copied_on_send(self):
+        w = World(2)
+        data = np.zeros(3)
+        w.send(data, 0, 1)
+        data[:] = 99
+        np.testing.assert_array_equal(w.recv(1, 0), [0, 0, 0])
+
+    def test_rank_validation(self):
+        w = World(2)
+        with pytest.raises(ValueError):
+            w.send(1, 0, 5)
+        with pytest.raises(ValueError):
+            w.recv(2, 0)
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+    def test_pending_count(self):
+        w = World(2)
+        assert w.pending(1, 0) == 0
+        w.send(1, 0, 1)
+        assert w.pending(1, 0) == 1
+
+
+class TestTrafficStats:
+    def test_message_and_byte_accounting(self):
+        w = World(3)
+        w.send(np.zeros(10, dtype=np.float32), 0, 1)
+        w.send(np.zeros(5, dtype=np.float64), 1, 2)
+        assert w.stats.total_messages == 2
+        assert w.stats.total_bytes == 40 + 40
+        assert w.stats.sent_messages[0] == 1
+        w.recv(1, 0)
+        assert w.stats.recv_messages[1] == 1
+
+    def test_control_message_nominal_size(self):
+        w = World(2)
+        w.send({"ready": True}, 0, 1)
+        assert w.stats.total_bytes == 64
+
+    def test_reset(self):
+        w = World(2)
+        w.send(1, 0, 1)
+        w.stats.reset()
+        assert w.stats.total_messages == 0
+
+    def test_max_messages_per_rank(self):
+        w = World(3)
+        for _ in range(3):
+            w.send(1, 0, 1)
+        for _ in range(3):
+            w.recv(1, 0)
+        assert w.stats.max_messages_per_rank() == 3
+
+
+class TestReferenceCollectives:
+    def test_gather(self):
+        w = World(4)
+        out = w.gather([10, 11, 12, 13], root=0)
+        assert out == [10, 11, 12, 13]
+        assert w.stats.recv_messages[0] == 3
+
+    def test_broadcast(self):
+        w = World(4)
+        out = w.broadcast("hello", root=0)
+        assert out == ["hello"] * 4
+
+    def test_gather_needs_all_values(self):
+        w = World(3)
+        with pytest.raises(ValueError):
+            w.gather([1, 2], root=0)

@@ -1,0 +1,131 @@
+"""Checkpointing: bit-exact training resume."""
+import numpy as np
+import pytest
+
+from repro.climate import ClimateDataset, Grid, class_frequencies
+from repro.core import TrainConfig, Trainer, load_checkpoint, save_checkpoint
+from repro.core.networks import Tiramisu, TiramisuConfig
+
+GRID = Grid(16, 24)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return ClimateDataset.synthesize(GRID, num_samples=8, seed=17, channels=4)
+
+
+def make_trainer(config=None, freqs=None, seed=42):
+    model = Tiramisu(TiramisuConfig(in_channels=4, base_filters=8, growth=4,
+                                    down_layers=(2, 2), bottleneck_layers=2,
+                                    kernel=3, dropout=0.0),
+                     rng=np.random.default_rng(seed))
+    return Trainer(model, config or TrainConfig(lr=0.05, optimizer="larc"),
+                   freqs)
+
+
+def steps(trainer, dataset, n, seed=0):
+    """Deterministic, history-free data order: step k always sees the same
+    batch, so a resumed run replays exactly what the uninterrupted run saw
+    (data order is the loader's job, not the checkpoint's)."""
+    del seed  # kept for call-site symmetry
+    losses = []
+    batches = list(dataset.batches(dataset.splits.train, 2))
+    for k in range(n):
+        imgs, labs = batches[k % len(batches)]
+        losses.append(trainer.train_step(imgs, labs).loss)
+    return losses
+
+
+class TestRoundtrip:
+    def test_bit_exact_resume(self, dataset, tmp_path):
+        freqs = class_frequencies(dataset.labels)
+        # Reference: 6 uninterrupted steps.
+        ref = make_trainer(freqs=freqs)
+        ref_losses = steps(ref, dataset, 6)
+
+        # Checkpointed: 3 steps, save, rebuild, load, 3 more steps.
+        a = make_trainer(freqs=freqs)
+        steps(a, dataset, 3)
+        path = save_checkpoint(a, tmp_path / "ckpt")
+        b = make_trainer(freqs=freqs, seed=999)  # different init, then restored
+        load_checkpoint(b, path)
+        resumed_losses = steps(b, dataset, 3)
+
+        # The resumed run reproduces the uninterrupted run exactly: same
+        # data order (we replay the same seed stream) and same state.
+        np.testing.assert_allclose(resumed_losses, ref_losses[3:], rtol=1e-6)
+        for (n1, p1), (_, p2) in zip(ref.model.named_parameters(),
+                                     b.model.named_parameters()):
+            np.testing.assert_array_equal(p1.master_value(), p2.master_value())
+
+    def test_momentum_state_restored(self, dataset, tmp_path):
+        cfg = TrainConfig(lr=0.05, optimizer="sgd", momentum=0.9)
+        a = make_trainer(cfg)
+        steps(a, dataset, 2)
+        path = save_checkpoint(a, tmp_path / "m")
+        b = make_trainer(cfg, seed=1)
+        load_checkpoint(b, path)
+        vel_a = {p.name: a.optimizer._velocity[id(p)] for p in a.optimizer.params
+                 if id(p) in a.optimizer._velocity}
+        vel_b = {p.name: b.optimizer._velocity[id(p)] for p in b.optimizer.params
+                 if id(p) in b.optimizer._velocity}
+        assert set(vel_a) == set(vel_b) and vel_a
+        for k in vel_a:
+            np.testing.assert_array_equal(vel_a[k], vel_b[k])
+
+    def test_adam_state_restored(self, dataset, tmp_path):
+        cfg = TrainConfig(lr=0.01, optimizer="adam")
+        a = make_trainer(cfg)
+        steps(a, dataset, 2)
+        path = save_checkpoint(a, tmp_path / "adam")
+        b = make_trainer(cfg, seed=2)
+        load_checkpoint(b, path)
+        assert b.optimizer._t  # step counters restored
+        la = steps(a, dataset, 2, seed=5)
+        lb = steps(b, dataset, 2, seed=5)
+        np.testing.assert_allclose(la, lb, rtol=1e-6)
+
+    def test_lag_queue_restored(self, dataset, tmp_path):
+        cfg = TrainConfig(lr=0.05, optimizer="sgd", gradient_lag=1)
+        a = make_trainer(cfg)
+        steps(a, dataset, 1)  # one gradient parked in the delay line
+        path = save_checkpoint(a, tmp_path / "lag")
+        b = make_trainer(cfg, seed=3)
+        load_checkpoint(b, path)
+        assert len(b.optimizer._queue) == 1
+        la = steps(a, dataset, 2, seed=6)
+        lb = steps(b, dataset, 2, seed=6)
+        np.testing.assert_allclose(la, lb, rtol=1e-6)
+
+    def test_fp16_scaler_restored(self, dataset, tmp_path):
+        cfg = TrainConfig(lr=0.01, optimizer="sgd", precision="fp16",
+                          loss_scale=2.0**10)
+        a = make_trainer(cfg)
+        steps(a, dataset, 2)
+        a.scaler.scale = 123.0
+        path = save_checkpoint(a, tmp_path / "fp16")
+        b = make_trainer(cfg, seed=4)
+        load_checkpoint(b, path)
+        assert b.scaler.scale == 123.0
+
+    def test_config_mismatch_rejected(self, dataset, tmp_path):
+        a = make_trainer(TrainConfig(lr=0.05, optimizer="sgd"))
+        path = save_checkpoint(a, tmp_path / "cfg")
+        b = make_trainer(TrainConfig(lr=0.05, optimizer="adam"))
+        with pytest.raises(ValueError, match="mismatch"):
+            load_checkpoint(b, path)
+
+    def test_suffix_added(self, dataset, tmp_path):
+        a = make_trainer()
+        path = save_checkpoint(a, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_metadata_returned(self, dataset, tmp_path):
+        a = make_trainer()
+        steps(a, dataset, 1)
+        path = save_checkpoint(a, tmp_path / "meta")
+        b = make_trainer(seed=5)
+        meta = load_checkpoint(b, path)
+        assert meta["history_len"] == 1
+        assert meta["config"]["optimizer"] == "larc"

@@ -1,0 +1,121 @@
+"""Tiled (sliding-window) inference."""
+import numpy as np
+import pytest
+
+from repro.core.inference import (
+    predict_tiled,
+    sliding_window_logits,
+    tent_window,
+    tile_positions,
+)
+from repro.framework.graph import ShapeProbe
+from repro.framework.module import Module
+from repro.framework.tensor import Tensor
+
+
+class ConstantModel(Module):
+    """Emits a fixed per-class logit everywhere (tiling invariance oracle)."""
+
+    def __init__(self, logits=(0.5, -1.0, 2.0)):
+        super().__init__()
+        self.values = np.asarray(logits, dtype=np.float32)
+
+    def forward(self, x):
+        if isinstance(x, ShapeProbe):  # pragma: no cover
+            raise NotImplementedError
+        n, c, h, w = x.shape
+        out = np.broadcast_to(self.values[None, :, None, None],
+                              (n, len(self.values), h, w))
+        return Tensor(np.ascontiguousarray(out))
+
+
+class MeanModel(Module):
+    """Logit 0 = local mean of channel 0; checks values pass through."""
+
+    def forward(self, x):
+        data = x.data.astype(np.float32)
+        return Tensor(np.stack([data[:, 0], -data[:, 0]], axis=1))
+
+
+class TestTilePositions:
+    def test_covers_extent(self):
+        pos = tile_positions(10, 4, 3)
+        assert pos[0] == 0
+        assert pos[-1] == 6
+        covered = set()
+        for p in pos:
+            covered.update(range(p, p + 4))
+        assert covered == set(range(10))
+
+    def test_exact_fit_single_tile(self):
+        assert tile_positions(8, 8, 8) == [0]
+
+    def test_flush_right_appended(self):
+        assert tile_positions(10, 4, 4)[-1] == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tile_positions(4, 8, 2)
+        with pytest.raises(ValueError):
+            tile_positions(8, 4, 0)
+        with pytest.raises(ValueError):
+            tile_positions(8, 4, 5)
+
+
+class TestTentWindow:
+    def test_symmetric_positive(self):
+        w = tent_window(6)
+        np.testing.assert_allclose(w, w[::-1])
+        assert (w > 0).all()
+        assert w.max() == 1.0
+
+    def test_odd_length_peak_center(self):
+        w = tent_window(5)
+        assert np.argmax(w) == 2
+
+
+class TestSlidingWindow:
+    def test_constant_model_seamless(self):
+        model = ConstantModel()
+        image = np.zeros((4, 20, 26), dtype=np.float32)
+        logits = sliding_window_logits(model, image, (8, 8), (5, 5))
+        assert logits.shape == (3, 20, 26)
+        for k, v in enumerate((0.5, -1.0, 2.0)):
+            np.testing.assert_allclose(logits[k], v, rtol=1e-5)
+
+    def test_values_pass_through_on_overlap(self):
+        # A model whose logits equal the input: blending must reproduce the
+        # input exactly even where tiles overlap.
+        rng = np.random.default_rng(0)
+        image = rng.normal(size=(1, 16, 16)).astype(np.float32)
+        logits = sliding_window_logits(MeanModel(), image, (8, 8), (4, 4))
+        np.testing.assert_allclose(logits[0], image[0], rtol=1e-4, atol=1e-5)
+
+    def test_predict_tiled_classes(self):
+        model = ConstantModel((0.0, 3.0, -1.0))
+        preds = predict_tiled(model, np.zeros((2, 12, 12), np.float32), (6, 6))
+        assert preds.shape == (12, 12)
+        assert (preds == 1).all()
+
+    def test_default_stride_half_window(self):
+        model = ConstantModel()
+        out = sliding_window_logits(model, np.zeros((1, 16, 16), np.float32),
+                                    (8, 8))
+        assert out.shape == (3, 16, 16)
+
+    def test_model_left_in_train_mode(self):
+        model = ConstantModel()
+        model.train(True)
+        sliding_window_logits(model, np.zeros((1, 8, 8), np.float32), (8, 8))
+        assert model.training
+
+    def test_real_network_tiled_matches_shape(self):
+        from repro.core.networks import Tiramisu, TiramisuConfig
+        net = Tiramisu(TiramisuConfig(in_channels=4, base_filters=8, growth=4,
+                                      down_layers=(2, 2), bottleneck_layers=2,
+                                      kernel=3, dropout=0.0),
+                       rng=np.random.default_rng(1))
+        image = np.random.default_rng(2).normal(size=(4, 24, 32)).astype(np.float32)
+        preds = predict_tiled(net, image, (16, 16), (8, 8))
+        assert preds.shape == (24, 32)
+        assert preds.min() >= 0 and preds.max() < 3

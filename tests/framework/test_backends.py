@@ -1,0 +1,100 @@
+"""Convolution algorithm backends and the autotuner (Section VI analogue)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.ops import CONV_BACKENDS, ConvAutotuner, conv2d_forward
+from repro.framework.ops.backends import conv2d_fft, conv2d_im2col
+
+RNG = np.random.default_rng(0)
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("backend", ["im2col", "fft"])
+    @pytest.mark.parametrize("stride,padding,dilation", [
+        (1, 0, 1), (1, 1, 1), (2, 1, 1), (1, 2, 2), (1, 4, 4), (2, 3, 1),
+    ])
+    def test_matches_reference(self, backend, stride, padding, dilation):
+        x = RNG.normal(size=(2, 3, 11, 13))
+        w = RNG.normal(size=(4, 3, 3, 3))
+        ref = conv2d_forward(x, w, stride, padding, dilation)
+        got = CONV_BACKENDS[backend](x, w, stride, padding, dilation)
+        np.testing.assert_allclose(got, ref, rtol=1e-8, atol=1e-8)
+
+    def test_large_kernel(self):
+        x = RNG.normal(size=(1, 2, 16, 16))
+        w = RNG.normal(size=(3, 2, 7, 7))
+        ref = conv2d_forward(x, w, 2, 3, 1)
+        np.testing.assert_allclose(conv2d_im2col(x, w, 2, 3, 1), ref,
+                                   rtol=1e-8, atol=1e-8)
+        np.testing.assert_allclose(conv2d_fft(x, w, 2, 3, 1), ref,
+                                   rtol=1e-7, atol=1e-7)
+
+    def test_fp16_inputs(self):
+        x = RNG.normal(size=(1, 2, 8, 8)).astype(np.float16)
+        w = RNG.normal(size=(2, 2, 3, 3)).astype(np.float16)
+        ref = conv2d_forward(x, w, 1, 1, 1)
+        got = conv2d_im2col(x, w, 1, 1, 1)
+        assert got.dtype == np.float16
+        np.testing.assert_allclose(got.astype(np.float32),
+                                   ref.astype(np.float32), rtol=1e-2, atol=1e-2)
+
+    @given(st.integers(1, 2), st.integers(1, 3), st.sampled_from([1, 3, 5]),
+           st.sampled_from([1, 2]))
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_backends_agree(self, n, c, kernel, dilation):
+        rng = np.random.default_rng(n * 37 + c * 11 + kernel)
+        x = rng.normal(size=(n, c, 12, 12))
+        w = rng.normal(size=(2, c, kernel, kernel))
+        pad = dilation * (kernel - 1) // 2
+        ref = conv2d_forward(x, w, 1, pad, dilation)
+        for name, fn in CONV_BACKENDS.items():
+            got = fn(x, w, 1, pad, dilation)
+            np.testing.assert_allclose(got, ref, rtol=1e-7, atol=1e-7,
+                                       err_msg=name)
+
+
+class TestAutotuner:
+    def test_caches_choice(self):
+        tuner = ConvAutotuner()
+        x = RNG.normal(size=(1, 2, 10, 10))
+        w = RNG.normal(size=(3, 2, 3, 3))
+        first = tuner.select(x, w, 1, 1, 1)
+        assert len(tuner.cache) == 1
+        second = tuner.select(x, w, 1, 1, 1)
+        assert first == second
+        assert len(tuner.cache) == 1  # no retune
+
+    def test_different_shapes_tune_separately(self):
+        tuner = ConvAutotuner()
+        w = RNG.normal(size=(2, 2, 3, 3))
+        tuner.select(RNG.normal(size=(1, 2, 8, 8)), w, 1, 1, 1)
+        tuner.select(RNG.normal(size=(1, 2, 16, 16)), w, 1, 1, 1)
+        assert len(tuner.cache) == 2
+
+    def test_call_returns_correct_result(self):
+        tuner = ConvAutotuner()
+        x = RNG.normal(size=(1, 3, 9, 9))
+        w = RNG.normal(size=(2, 3, 3, 3))
+        ref = conv2d_forward(x, w, 1, 1, 1)
+        np.testing.assert_allclose(tuner(x, w, 1, 1, 1), ref, rtol=1e-8)
+
+    def test_timings_recorded(self):
+        tuner = ConvAutotuner()
+        x = RNG.normal(size=(1, 1, 6, 6))
+        w = RNG.normal(size=(1, 1, 3, 3))
+        tuner.select(x, w, 1, 1, 1)
+        (sig, times), = tuner.timings.items()
+        assert set(times) == set(CONV_BACKENDS)
+        assert all(t >= 0 for t in times.values())
+
+    def test_restricted_backends(self):
+        tuner = ConvAutotuner(backends={"fft": conv2d_fft})
+        x = RNG.normal(size=(1, 1, 6, 6))
+        w = RNG.normal(size=(1, 1, 3, 3))
+        assert tuner.select(x, w, 1, 1, 1) == "fft"
+
+    def test_empty_backends_rejected(self):
+        with pytest.raises(ValueError):
+            ConvAutotuner(backends={})

@@ -1,0 +1,99 @@
+"""Depthwise and separable convolutions."""
+import numpy as np
+import pytest
+
+from repro.framework import Tensor
+from repro.framework.graph import GraphTracer
+from repro.framework.layers import Conv2D, DepthwiseConv2D, SeparableConv2D
+from repro.framework.ops import (
+    conv2d_forward,
+    depthwise_conv2d_backward_input,
+    depthwise_conv2d_backward_weight,
+    depthwise_conv2d_flops,
+    depthwise_conv2d_forward,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestDepthwiseKernel:
+    def test_equals_grouped_dense_conv(self):
+        # A depthwise conv == dense conv with a block-diagonal weight.
+        x = RNG.normal(size=(2, 3, 8, 8))
+        w = RNG.normal(size=(3, 3, 3))
+        dense_w = np.zeros((3, 3, 3, 3))
+        for c in range(3):
+            dense_w[c, c] = w[c]
+        got = depthwise_conv2d_forward(x, w, 1, 1, 1)
+        ref = conv2d_forward(x, dense_w, 1, 1, 1)
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("stride,padding,dilation", [
+        (1, 1, 1), (2, 1, 1), (1, 2, 2),
+    ])
+    def test_gradcheck(self, stride, padding, dilation):
+        x = RNG.normal(size=(1, 2, 6, 6))
+        w = RNG.normal(size=(2, 3, 3))
+        y = depthwise_conv2d_forward(x, w, stride, padding, dilation)
+        g = RNG.normal(size=y.shape)
+        dx = depthwise_conv2d_backward_input(g, w, x.shape, stride, padding, dilation)
+        dw = depthwise_conv2d_backward_weight(g, x, w.shape, stride, padding, dilation)
+        eps = 1e-6
+        for idx in [(0, 0, 2, 3), (0, 1, 5, 5)]:
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            fd = ((depthwise_conv2d_forward(xp, w, stride, padding, dilation) * g).sum()
+                  - (depthwise_conv2d_forward(xm, w, stride, padding, dilation) * g).sum()) / (2 * eps)
+            np.testing.assert_allclose(dx[idx], fd, rtol=1e-5, atol=1e-8)
+        for idx in [(0, 0, 0), (1, 2, 2)]:
+            wp = w.copy(); wp[idx] += eps
+            wm = w.copy(); wm[idx] -= eps
+            fd = ((depthwise_conv2d_forward(x, wp, stride, padding, dilation) * g).sum()
+                  - (depthwise_conv2d_forward(x, wm, stride, padding, dilation) * g).sum()) / (2 * eps)
+            np.testing.assert_allclose(dw[idx], fd, rtol=1e-5, atol=1e-8)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            depthwise_conv2d_forward(np.zeros((1, 2, 4, 4)), np.zeros((3, 3, 3)))
+
+    def test_flops_k2_cheaper_than_dense(self):
+        from repro.framework.ops import conv2d_flops
+        dw = depthwise_conv2d_flops(1, 64, 32, 32, 3, 3)
+        dense = conv2d_flops(1, 64, 64, 32, 32, 3, 3)
+        assert dense == 64 * dw  # dense costs C_out x more
+
+
+class TestLayers:
+    def test_depthwise_layer_shapes_and_grads(self):
+        layer = DepthwiseConv2D(4, 3, dilation=2, rng=np.random.default_rng(1))
+        x = Tensor(RNG.normal(size=(1, 4, 8, 8)).astype(np.float32),
+                   requires_grad=True)
+        y = layer(x)
+        assert y.shape == (1, 4, 8, 8)
+        y.sum().backward()
+        assert layer.weight.grad is not None
+        assert x.grad is not None
+
+    def test_separable_shapes(self):
+        layer = SeparableConv2D(4, 6, 3, dilation=4, rng=np.random.default_rng(2))
+        x = Tensor(RNG.normal(size=(2, 4, 12, 12)).astype(np.float32))
+        assert layer(x).shape == (2, 6, 12, 12)
+
+    def test_separable_cheaper_than_dense_in_trace(self):
+        tracer = GraphTracer(1)
+        SeparableConv2D(32, 32, 3)(tracer.probe(32, 16, 16))
+        sep = tracer.finish().category_flops("conv_fwd")
+        tracer2 = GraphTracer(1)
+        Conv2D(32, 32, 3)(tracer2.probe(32, 16, 16))
+        dense = tracer2.finish().category_flops("conv_fwd")
+        # Separable ~ (1/k^2 + 1/C_out) of dense -> large saving.
+        assert sep < dense / 4
+
+    def test_separable_param_count(self):
+        layer = SeparableConv2D(8, 16, 3, bias=False)
+        assert layer.num_parameters() == 8 * 9 + 8 * 16
+
+    def test_trace_channel_check(self):
+        tracer = GraphTracer(1)
+        with pytest.raises(ValueError, match="channels"):
+            DepthwiseConv2D(4, 3)(tracer.probe(5, 8, 8))

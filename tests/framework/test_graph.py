@@ -1,0 +1,114 @@
+"""Graph tracing: kernel records, aggregation, probe semantics."""
+import numpy as np
+import pytest
+
+from repro.framework import functional as F
+from repro.framework.graph import CATEGORIES, GraphAnalysis, GraphTracer, KernelRecord, ShapeProbe
+from repro.framework.layers import Conv2D, ReLU, Sequential
+from repro.framework.module import Module
+
+
+class TestKernelRecord:
+    def test_valid_categories(self):
+        for c in CATEGORIES:
+            KernelRecord("k", c, 10, 20)
+
+    def test_invalid_category_raises(self):
+        with pytest.raises(ValueError, match="category"):
+            KernelRecord("k", "bogus", 1, 1)
+
+
+class TestGraphTracer:
+    def test_probe_shape(self):
+        tr = GraphTracer(batch=4, precision="fp32")
+        p = tr.probe(3, 8, 12)
+        assert p.shape == (4, 3, 8, 12)
+        assert p.size == 4 * 3 * 8 * 12
+
+    def test_tensor_bytes_fp16(self):
+        tr = GraphTracer(1, "fp16")
+        assert tr.tensor_bytes((2, 3)) == 12
+
+    def test_emit_and_aggregate(self):
+        tr = GraphTracer(1)
+        tr.emit("a", "conv_fwd", 100, 10)
+        tr.emit("b", "conv_fwd", 50, 5)
+        tr.emit("c", "copy", 0, 7)
+        a = tr.finish()
+        assert a.category_flops("conv_fwd") == 150
+        assert a.category_bytes("conv_fwd") == 15
+        assert a.category_kernels("conv_fwd") == 2
+        assert a.total_flops == 150
+        assert a.total_bytes == 22
+        assert a.categories() == ["conv_fwd", "copy"]
+
+    def test_flops_per_sample_normalizes_by_batch(self):
+        tr = GraphTracer(batch=4)
+        tr.emit("a", "conv_fwd", 400, 1)
+        assert tr.finish().flops_per_sample() == 100
+
+    def test_summary_structure(self):
+        tr = GraphTracer(1)
+        tr.emit("a", "optimizer", 5, 6)
+        s = tr.finish().summary()
+        assert s["optimizer"] == {"flops": 5, "bytes": 6, "kernels": 1}
+
+
+class TestModuleAnalyze:
+    def test_analyze_returns_analysis(self):
+        model = Sequential(Conv2D(3, 4, 3), ReLU())
+        a = model.analyze((3, 8, 8), batch=2)
+        assert isinstance(a, GraphAnalysis)
+        assert a.total_flops > 0
+
+    def test_analyze_scales_with_resolution(self):
+        model = Sequential(Conv2D(3, 4, 3))
+        a1 = model.analyze((3, 8, 8))
+        a2 = model.analyze((3, 16, 16))
+        # Fully convolutional: FLOPs scale with pixel count.
+        assert a2.category_flops("conv_fwd") == 4 * a1.category_flops("conv_fwd")
+
+    def test_analyze_requires_probe_output(self):
+        class Bad(Module):
+            def forward(self, x):
+                return 42
+
+        with pytest.raises(TypeError, match="ShapeProbe"):
+            Bad().analyze((3, 8, 8))
+
+
+class TestFunctionalProbes:
+    def test_add_shape_checked(self):
+        tr = GraphTracer(1)
+        a = tr.probe(3, 4, 4)
+        b = tr.probe(3, 4, 4)
+        out = F.add(a, b)
+        assert out.shape == a.shape
+        with pytest.raises(ValueError, match="mismatch"):
+            F.add(a, tr.probe(3, 4, 5))
+
+    def test_concat_channels(self):
+        tr = GraphTracer(2)
+        out = F.concat([tr.probe(3, 4, 4), tr.probe(5, 4, 4)], axis=1)
+        assert out.shape == (2, 8, 4, 4)
+        a = tr.finish()
+        assert a.category_bytes("copy") > 0
+
+    def test_concat_mismatch_raises(self):
+        tr = GraphTracer(1)
+        with pytest.raises(ValueError, match="mismatch"):
+            F.concat([tr.probe(3, 4, 4), tr.probe(3, 5, 4)], axis=1)
+
+    def test_relu_probe_passthrough(self):
+        tr = GraphTracer(1)
+        p = tr.probe(3, 4, 4)
+        assert F.relu(p).shape == p.shape
+
+    def test_functional_eager_paths(self):
+        from repro.framework import Tensor
+        x = Tensor(np.array([1.0, -2.0]), requires_grad=True)
+        y = Tensor(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(F.add(x, y).data, [4.0, 2.0])
+        np.testing.assert_allclose(F.relu(x).data, [1.0, 0.0])
+        out = F.concat([x, y], axis=0)
+        assert out.shape == (4,)

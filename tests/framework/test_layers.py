@@ -1,0 +1,247 @@
+"""Layer library: eager/trace agreement, gradients, registration."""
+import numpy as np
+import pytest
+
+from repro.framework import Tensor
+from repro.framework.graph import GraphTracer
+from repro.framework.layers import (
+    AtrousConv2D,
+    AvgPool2D,
+    BatchNorm2D,
+    BilinearUpsample2D,
+    Conv2D,
+    ConvTranspose2D,
+    Dropout,
+    GlobalAvgPool2D,
+    Identity,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def trace_shape(layer, in_shape, batch=2):
+    tracer = GraphTracer(batch, "fp32")
+    probe = tracer.probe(*in_shape)
+    return layer(probe).shape, tracer.finish()
+
+
+def eager_shape(layer, in_shape, batch=2):
+    x = Tensor(RNG.normal(size=(batch,) + in_shape).astype(np.float32),
+               requires_grad=True)
+    return layer(x).shape
+
+
+LAYER_CASES = [
+    (Conv2D(3, 8, 3), (3, 8, 12)),
+    (Conv2D(3, 8, 3, stride=2), (3, 8, 12)),
+    (Conv2D(3, 8, 5, padding="same"), (3, 10, 10)),
+    (Conv2D(3, 8, 1, padding="valid"), (3, 8, 8)),
+    (Conv2D(3, 8, 7, stride=2), (3, 16, 16)),
+    (AtrousConv2D(4, 6, 3, dilation=4), (4, 16, 16)),
+    (ConvTranspose2D(6, 3, 3, stride=2), (6, 5, 7)),
+    (BatchNorm2D(5), (5, 6, 6)),
+    (ReLU(), (2, 4, 4)),
+    (Sigmoid(), (2, 4, 4)),
+    (Tanh(), (2, 4, 4)),
+    (MaxPool2D(2, 2), (3, 8, 8)),
+    (MaxPool2D(3, 2, padding=1), (3, 8, 8)),
+    (AvgPool2D(2, 2), (3, 8, 8)),
+    (GlobalAvgPool2D(), (3, 8, 8)),
+    (Dropout(0.3), (2, 6, 6)),
+    (BilinearUpsample2D(2), (2, 4, 4)),
+    (Identity(), (2, 4, 4)),
+    (Sequential(Conv2D(3, 6, 3), ReLU(), MaxPool2D(2, 2)), (3, 8, 8)),
+]
+
+
+class TestEagerTraceAgreement:
+    @pytest.mark.parametrize("layer,in_shape", LAYER_CASES,
+                             ids=[f"{type(l).__name__}_{i}" for i, (l, _) in enumerate(LAYER_CASES)])
+    def test_shapes_agree(self, layer, in_shape):
+        traced, _ = trace_shape(layer, in_shape)
+        assert traced == eager_shape(layer, in_shape)
+
+    def test_trace_emits_records(self):
+        _, analysis = trace_shape(Conv2D(3, 8, 3), (3, 8, 8))
+        assert analysis.category_flops("conv_fwd") > 0
+        assert analysis.category_flops("conv_bwd") == 2 * analysis.category_flops("conv_fwd")
+
+    def test_fp16_trace_emits_casts(self):
+        tracer = GraphTracer(1, "fp16")
+        Conv2D(3, 8, 3)(tracer.probe(3, 8, 8))
+        analysis = tracer.finish()
+        assert analysis.category_kernels("cast") == 1
+
+    def test_no_backward_trace(self):
+        tracer = GraphTracer(1, "fp32", include_backward=False)
+        Conv2D(3, 8, 3)(tracer.probe(3, 8, 8))
+        analysis = tracer.finish()
+        assert analysis.category_flops("conv_bwd") == 0
+
+
+class TestConv2D:
+    def test_gradients_reach_params(self):
+        conv = Conv2D(2, 3, 3)
+        x = Tensor(RNG.normal(size=(1, 2, 6, 6)).astype(np.float32))
+        conv(x).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+    def test_no_bias(self):
+        conv = Conv2D(2, 3, 3, bias=False)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_same_padding_even_kernel_raises(self):
+        with pytest.raises(ValueError, match="odd kernel"):
+            Conv2D(2, 3, 4, padding="same")
+
+    def test_channel_mismatch_raises_in_trace(self):
+        tracer = GraphTracer(1)
+        with pytest.raises(ValueError, match="channels"):
+            Conv2D(3, 8, 3)(tracer.probe(4, 8, 8))
+
+    def test_deterministic_init_with_seeded_rng(self):
+        a = Conv2D(2, 3, 3, rng=np.random.default_rng(9))
+        b = Conv2D(2, 3, 3, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConvTranspose2D:
+    def test_exact_double_upsample(self):
+        deconv = ConvTranspose2D(4, 2, 3, stride=2, padding=1, output_padding=1)
+        x = Tensor(RNG.normal(size=(1, 4, 5, 6)).astype(np.float32))
+        assert deconv(x).shape == (1, 2, 10, 12)
+
+    def test_gradcheck(self):
+        deconv = ConvTranspose2D(2, 2, 3, stride=2, padding=1, output_padding=1,
+                                 rng=np.random.default_rng(1))
+        deconv.weight.data = deconv.weight.data.astype(np.float64)
+        deconv.bias.data = deconv.bias.data.astype(np.float64)
+        x0 = RNG.normal(size=(1, 2, 4, 4))
+        x = Tensor(x0, requires_grad=True)
+        (deconv(x) ** 2).sum().backward()
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 1, 3, 3)]:
+            def loss(xv):
+                return float((deconv(Tensor(xv)).data ** 2).sum())
+            xp = x0.copy(); xp[idx] += eps
+            xm = x0.copy(); xm[idx] -= eps
+            fd = (loss(xp) - loss(xm)) / (2 * eps)
+            np.testing.assert_allclose(x.grad[idx], fd, rtol=1e-5, atol=1e-7)
+
+    def test_weight_grad_flows(self):
+        deconv = ConvTranspose2D(2, 2, 3)
+        x = Tensor(RNG.normal(size=(1, 2, 4, 4)).astype(np.float32))
+        deconv(x).sum().backward()
+        assert deconv.weight.grad is not None
+        assert deconv.weight.grad.shape == deconv.weight.shape
+
+
+class TestBatchNorm2D:
+    def test_train_mode_updates_running_stats(self):
+        bn = BatchNorm2D(2)
+        x = Tensor(RNG.normal(loc=3.0, size=(4, 2, 5, 5)).astype(np.float32))
+        before = bn.running_mean.copy()
+        bn(x)
+        assert not np.allclose(bn.running_mean, before)
+
+    def test_eval_mode_uses_running_stats(self):
+        bn = BatchNorm2D(1)
+        bn.running_mean[:] = 2.0
+        bn.running_var[:] = 1.0
+        bn.eval()
+        x = Tensor(np.full((1, 1, 2, 2), 2.0, dtype=np.float32))
+        np.testing.assert_allclose(bn(x).data, 0.0, atol=1e-3)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError, match="channels"):
+            BatchNorm2D(3)(Tensor(np.zeros((1, 2, 4, 4), dtype=np.float32)))
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2D(2)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_state_roundtrip(self):
+        bn = BatchNorm2D(2)
+        bn.running_mean[:] = [1.0, 2.0]
+        state = bn.state_dict()
+        bn2 = BatchNorm2D(2)
+        bn2.load_state_dict(state)
+        np.testing.assert_allclose(bn2.running_mean, [1.0, 2.0])
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        d = Dropout(0.5)
+        d.eval()
+        x = Tensor(np.ones((2, 3, 4, 4), dtype=np.float32))
+        np.testing.assert_array_equal(d(x).data, x.data)
+
+    def test_train_scales_survivors(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((1, 1, 100, 100), dtype=np.float32))
+        out = d(x).data
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, 2.0, rtol=1e-6)
+        assert 0.4 < (out != 0).mean() < 0.6
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_zero_p_identity_in_train(self):
+        d = Dropout(0.0)
+        x = Tensor(np.ones((1, 1, 4, 4), dtype=np.float32))
+        np.testing.assert_array_equal(d(x).data, x.data)
+
+
+class TestSequentialAndModule:
+    def test_parameter_names_dotted(self):
+        seq = Sequential(Conv2D(2, 3, 3), BatchNorm2D(3))
+        names = [n for n, _ in seq.named_parameters()]
+        assert "0.weight" in names and "1.gamma" in names
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Dropout(0.5), BatchNorm2D(2))
+        seq.eval()
+        assert not seq[0].training and not seq[1].training
+        seq.train()
+        assert seq[0].training
+
+    def test_num_parameters(self):
+        conv = Conv2D(2, 3, 3)
+        assert conv.num_parameters() == 3 * 2 * 9 + 3
+
+    def test_state_dict_load_roundtrip(self):
+        seq = Sequential(Conv2D(2, 3, 3, rng=np.random.default_rng(1)))
+        state = seq.state_dict()
+        seq2 = Sequential(Conv2D(2, 3, 3, rng=np.random.default_rng(2)))
+        seq2.load_state_dict(state)
+        np.testing.assert_array_equal(seq2[0].weight.data, seq[0].weight.data)
+
+    def test_load_unknown_buffer_raises(self):
+        seq = Sequential(Conv2D(2, 3, 3))
+        with pytest.raises(KeyError):
+            seq.load_state_dict({"nonexistent.thing": np.zeros(1)})
+
+    def test_append(self):
+        seq = Sequential(ReLU())
+        seq.append(Identity())
+        assert len(seq) == 2
+
+    def test_zero_grad_clears(self):
+        conv = Conv2D(2, 3, 3)
+        x = Tensor(np.ones((1, 2, 5, 5), dtype=np.float32))
+        conv(x).sum().backward()
+        assert conv.weight.grad is not None
+        conv.zero_grad()
+        assert conv.weight.grad is None

@@ -1,0 +1,190 @@
+"""Convolution kernels: forward correctness and gradient checks."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.ops.conv import (
+    conv2d_backward_input,
+    conv2d_backward_weight,
+    conv2d_flops,
+    conv2d_forward,
+    conv_output_size,
+    conv_transpose_output_size,
+)
+
+
+def naive_conv2d(x, w, stride, padding, dilation):
+    """Reference implementation: explicit loops."""
+    n, c, h, wi = x.shape
+    f, _, kh, kw = w.shape
+    oh = conv_output_size(h, kh, stride, padding, dilation)
+    ow = conv_output_size(wi, kw, stride, padding, dilation)
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, f, oh, ow))
+    for b in range(n):
+        for o in range(f):
+            for i in range(oh):
+                for j in range(ow):
+                    acc = 0.0
+                    for ci in range(c):
+                        for u in range(kh):
+                            for v in range(kw):
+                                acc += (xp[b, ci, i * stride + u * dilation,
+                                           j * stride + v * dilation]
+                                        * w[o, ci, u, v])
+                    out[b, o, i, j] = acc
+    return out
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("size,k,s,p,d,expect", [
+        (8, 3, 1, 1, 1, 8),      # 'same'
+        (8, 3, 2, 1, 1, 4),      # stride-2 'same'
+        (8, 7, 2, 3, 1, 4),      # ResNet stem
+        (12, 3, 1, 2, 2, 12),    # atrous 'same'
+        (12, 3, 1, 12, 12, 12),  # ASPP dilation
+        (5, 3, 1, 0, 1, 3),      # valid
+    ])
+    def test_output_size(self, size, k, s, p, d, expect):
+        assert conv_output_size(size, k, s, p, d) == expect
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            conv_output_size(2, 5, 1, 0, 1)
+
+    @pytest.mark.parametrize("size,k,s,p,op,expect", [
+        (4, 3, 2, 1, 1, 8),    # exact 2x upsample
+        (6, 3, 2, 1, 1, 12),
+        (4, 2, 2, 0, 0, 8),
+    ])
+    def test_transpose_output_size(self, size, k, s, p, op, expect):
+        assert conv_transpose_output_size(size, k, s, p, op) == expect
+
+    def test_transpose_inverts_conv(self):
+        # conv_output_size(deconv_output) == input for our decoder config.
+        for h in (4, 6, 10):
+            out = conv_transpose_output_size(h, 3, 2, 1, 1)
+            assert conv_output_size(out, 3, 2, 1, 1) == h
+
+
+class TestForward:
+    @pytest.mark.parametrize("stride,padding,dilation", [
+        (1, 0, 1), (1, 1, 1), (2, 1, 1), (1, 2, 2), (2, 0, 1), (1, 4, 4),
+    ])
+    def test_matches_naive(self, stride, padding, dilation):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, 3, 9, 10))
+        w = rng.normal(size=(4, 3, 3, 3))
+        got = conv2d_forward(x, w, stride, padding, dilation)
+        want = naive_conv2d(x, w, stride, padding, dilation)
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-10)
+
+    def test_identity_kernel(self):
+        x = np.random.default_rng(0).normal(size=(1, 1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        np.testing.assert_allclose(conv2d_forward(x, w, 1, 1, 1), x)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError, match="channel"):
+            conv2d_forward(np.zeros((1, 2, 4, 4)), np.zeros((1, 3, 3, 3)))
+
+    def test_preserves_dtype_fp32(self):
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        assert conv2d_forward(x, w, 1, 1, 1).dtype == np.float32
+
+    def test_fp16_accumulates_in_fp32(self):
+        # Summing many small values: fp16 accumulation would lose them.
+        x = np.full((1, 1, 1, 4096), 2**-11, dtype=np.float16)
+        w = np.ones((1, 1, 1, 4095), dtype=np.float16)
+        out = conv2d_forward(x, w, 1, 0, 1)
+        assert out.dtype == np.float16
+        # True sum = 4095 * 2^-11 ~ 2.0; fp16-accumulated would stall at ~1.0.
+        assert float(out[0, 0, 0, 0]) > 1.9
+
+
+class TestBackward:
+    @pytest.mark.parametrize("stride,padding,dilation", [
+        (1, 1, 1), (2, 1, 1), (1, 2, 2),
+    ])
+    def test_input_grad_fd(self, stride, padding, dilation):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        y = conv2d_forward(x, w, stride, padding, dilation)
+        g = rng.normal(size=y.shape)
+        dx = conv2d_backward_input(g, w, x.shape, stride, padding, dilation)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 1, 3, 2), (0, 0, 5, 5)]:
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            fd = ((conv2d_forward(xp, w, stride, padding, dilation) * g).sum()
+                  - (conv2d_forward(xm, w, stride, padding, dilation) * g).sum()) / (2 * eps)
+            np.testing.assert_allclose(dx[idx], fd, rtol=1e-5, atol=1e-7)
+
+    @pytest.mark.parametrize("stride,padding,dilation", [
+        (1, 1, 1), (2, 1, 1), (1, 2, 2),
+    ])
+    def test_weight_grad_fd(self, stride, padding, dilation):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        y = conv2d_forward(x, w, stride, padding, dilation)
+        g = rng.normal(size=y.shape)
+        dw = conv2d_backward_weight(g, x, w.shape, stride, padding, dilation)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (2, 1, 2, 2), (1, 0, 1, 1)]:
+            wp = w.copy(); wp[idx] += eps
+            wm = w.copy(); wm[idx] -= eps
+            fd = ((conv2d_forward(x, wp, stride, padding, dilation) * g).sum()
+                  - (conv2d_forward(x, wm, stride, padding, dilation) * g).sum()) / (2 * eps)
+            np.testing.assert_allclose(dw[idx], fd, rtol=1e-5, atol=1e-7)
+
+    def test_wgrad_fp32_for_fp16_inputs(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float16)
+        g = np.ones((1, 1, 4, 4), dtype=np.float16)
+        dw = conv2d_backward_weight(g, x, (1, 1, 3, 3), 1, 1, 1)
+        assert dw.dtype == np.float32
+
+    def test_adjoint_identity(self):
+        # <g, conv(x)> == <dgrad(g), x>: dgrad is the exact adjoint.
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(1, 2, 8, 8))
+        w = rng.normal(size=(3, 2, 3, 3))
+        y = conv2d_forward(x, w, 2, 1, 1)
+        g = rng.normal(size=y.shape)
+        dx = conv2d_backward_input(g, w, x.shape, 2, 1, 1)
+        np.testing.assert_allclose((g * y).sum(), (dx * x).sum(), rtol=1e-10)
+
+
+class TestFlops:
+    def test_paper_worked_example(self):
+        # Section VI: 3x3 conv, 1152x768, 48->32 channels, batch 2 = 48.9e9.
+        flops = conv2d_flops(2, 48, 32, 768, 1152, 3, 3)
+        assert flops == 3 * 3 * 1152 * 768 * 48 * 32 * 2 * 2
+        assert abs(flops / 1e9 - 48.9) < 0.05
+
+    @given(st.integers(1, 4), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_in_batch(self, n, cin, cout):
+        one = conv2d_flops(1, cin, cout, 5, 7, 3, 3)
+        assert conv2d_flops(n, cin, cout, 5, 7, 3, 3) == n * one
+
+
+class TestHypothesisRoundtrip:
+    @given(
+        st.integers(1, 2), st.integers(1, 3), st.integers(1, 3),
+        st.integers(1, 2), st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_forward_matches_naive_random(self, n, cin, cout, stride, dilation):
+        rng = np.random.default_rng(42)
+        h = w = 8
+        x = rng.normal(size=(n, cin, h, w))
+        wt = rng.normal(size=(cout, cin, 3, 3))
+        padding = dilation  # 'same'-ish
+        got = conv2d_forward(x, wt, stride, padding, dilation)
+        want = naive_conv2d(x, wt, stride, padding, dilation)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)

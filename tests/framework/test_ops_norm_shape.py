@@ -1,0 +1,118 @@
+"""Batch-norm and shape-op kernels."""
+import numpy as np
+import pytest
+
+from repro.framework.ops.norm import batchnorm_backward, batchnorm_forward, batchnorm_infer
+from repro.framework.ops.shape import (
+    bilinear_upsample_backward,
+    bilinear_upsample_forward,
+    crop2d,
+    pad2d_backward,
+    pad2d_forward,
+)
+
+
+class TestBatchNorm:
+    def test_normalizes_per_channel(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(4, 3, 8, 8))
+        gamma = np.ones(3, dtype=np.float32)
+        beta = np.zeros(3, dtype=np.float32)
+        out, _ = batchnorm_forward(x, gamma, beta)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_affine_params_applied(self):
+        x = np.random.default_rng(1).normal(size=(2, 2, 4, 4))
+        gamma = np.array([2.0, 3.0], dtype=np.float32)
+        beta = np.array([-1.0, 1.0], dtype=np.float32)
+        out, _ = batchnorm_forward(x, gamma, beta)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), beta, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), gamma, rtol=1e-3)
+
+    def test_backward_gradcheck(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 2, 3, 3))
+        gamma = rng.normal(size=2) + 1.5
+        beta = rng.normal(size=2)
+        out, cache = batchnorm_forward(x, gamma, beta)
+        g = rng.normal(size=out.shape)
+        dx, dgamma, dbeta = batchnorm_backward(g, cache)
+        eps = 1e-5
+
+        def loss(xv):
+            return (batchnorm_forward(xv, gamma, beta)[0] * g).sum()
+
+        for idx in [(0, 0, 0, 0), (1, 1, 2, 2), (0, 1, 1, 0)]:
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            fd = (loss(xp) - loss(xm)) / (2 * eps)
+            np.testing.assert_allclose(dx[idx], fd, rtol=1e-3, atol=1e-5)
+        # Parameter grads.
+        for k in range(2):
+            gp = gamma.copy(); gp[k] += eps
+            gm = gamma.copy(); gm[k] -= eps
+            fd = ((batchnorm_forward(x, gp, beta)[0] * g).sum()
+                  - (batchnorm_forward(x, gm, beta)[0] * g).sum()) / (2 * eps)
+            np.testing.assert_allclose(dgamma[k], fd, rtol=1e-3)
+        np.testing.assert_allclose(dbeta, g.sum(axis=(0, 2, 3)), rtol=1e-5)
+
+    def test_infer_uses_running_stats(self):
+        x = np.full((1, 1, 2, 2), 10.0)
+        out = batchnorm_infer(x, np.ones(1), np.zeros(1),
+                              running_mean=np.array([10.0]),
+                              running_var=np.array([4.0]))
+        np.testing.assert_allclose(out, 0.0, atol=1e-3)
+
+    def test_fp16_stays_fp16(self):
+        x = np.random.default_rng(0).normal(size=(2, 2, 4, 4)).astype(np.float16)
+        out, _ = batchnorm_forward(x, np.ones(2, np.float32), np.zeros(2, np.float32))
+        assert out.dtype == np.float16
+
+
+class TestPadCrop:
+    def test_pad_then_backward_roundtrip(self):
+        x = np.random.default_rng(0).normal(size=(1, 2, 4, 5))
+        padded = pad2d_forward(x, (1, 2, 3, 4))
+        assert padded.shape == (1, 2, 7, 12)
+        np.testing.assert_allclose(pad2d_backward(padded, (1, 2, 3, 4)), x)
+
+    def test_crop_center(self):
+        x = np.arange(36.0).reshape(1, 1, 6, 6)
+        c = crop2d(x, 4, 4)
+        assert c.shape == (1, 1, 4, 4)
+        assert c[0, 0, 0, 0] == x[0, 0, 1, 1]
+
+    def test_crop_too_big_raises(self):
+        with pytest.raises(ValueError, match="cannot crop"):
+            crop2d(np.zeros((1, 1, 3, 3)), 4, 4)
+
+
+class TestBilinear:
+    def test_constant_field_preserved(self):
+        x = np.full((1, 2, 3, 4), 7.0)
+        out = bilinear_upsample_forward(x, 6, 8)
+        np.testing.assert_allclose(out, 7.0, rtol=1e-6)
+
+    def test_exact_2x_known_values(self):
+        x = np.array([[[[0.0, 1.0]]]])
+        out = bilinear_upsample_forward(x, 1, 4, align_corners=True)
+        np.testing.assert_allclose(out[0, 0, 0], [0, 1 / 3, 2 / 3, 1.0], atol=1e-6)
+
+    def test_adjoint_identity(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 4, 5))
+        y = bilinear_upsample_forward(x, 8, 10)
+        g = rng.normal(size=y.shape)
+        dx = bilinear_upsample_backward(g, x.shape)
+        np.testing.assert_allclose((y * g).sum(), (x * dx).sum(), rtol=1e-5)
+
+    def test_mass_conserved_in_backward(self):
+        g = np.ones((1, 1, 8, 8))
+        dx = bilinear_upsample_backward(g, (1, 1, 4, 4))
+        np.testing.assert_allclose(dx.sum(), g.sum(), rtol=1e-6)
+
+    def test_downsample_also_works(self):
+        x = np.random.default_rng(2).normal(size=(1, 1, 8, 8))
+        out = bilinear_upsample_forward(x, 4, 4)
+        assert out.shape == (1, 1, 4, 4)

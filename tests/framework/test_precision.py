@@ -1,0 +1,136 @@
+"""Mixed-precision machinery: loss scaling, FP16 policy, master weights."""
+import numpy as np
+import pytest
+
+from repro.framework import LossScaler, Tensor, apply_fp16_policy, grads_finite
+from repro.framework.dtypes import Precision, as_numpy_dtype, bytes_per_element, compute_dtype
+from repro.framework.layers import BatchNorm2D, Conv2D, Sequential
+from repro.framework.parameter import Parameter
+
+
+class TestDtypes:
+    def test_precision_lookup(self):
+        assert Precision("fp16").np_dtype == np.float16
+        assert Precision("fp32").itemsize == 4
+        assert Precision("fp16").is_half
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            Precision("fp8")
+
+    def test_compute_dtype_is_fp32_for_half(self):
+        assert compute_dtype("fp16") == np.float32
+
+    def test_helpers(self):
+        assert as_numpy_dtype("fp16") == np.float16
+        assert bytes_per_element("fp64") == 8
+
+    def test_equality_with_string(self):
+        assert Precision("fp16") == "fp16"
+        assert Precision("fp16") != "fp32"
+
+
+class TestParameterMaster:
+    def test_master_copy_roundtrip(self):
+        p = Parameter(np.array([1.0, 2.0], dtype=np.float32))
+        p.enable_master_copy()
+        p.cast_(np.float16)
+        assert p.data.dtype == np.float16
+        p.apply_update(np.array([1e-4, 1e-4]))
+        # Master accumulates below-fp16-resolution updates.
+        assert p.master[0] != 1.0
+        assert p.master.dtype == np.float32
+
+    def test_small_updates_accumulate_via_master(self):
+        p = Parameter(np.ones(1, dtype=np.float32))
+        p.enable_master_copy()
+        p.cast_(np.float16)
+        for _ in range(100):
+            p.apply_update(np.array([1e-5]))
+        np.testing.assert_allclose(p.master, 1.001, rtol=1e-4)
+
+    def test_without_master_updates_direct(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        p.apply_update(np.array([0.5, -0.5]))
+        np.testing.assert_allclose(p.data, [1.5, 0.5])
+
+
+class TestLossScaler:
+    def _params_with_grads(self, grads):
+        params = []
+        for g in grads:
+            p = Parameter(np.zeros_like(np.asarray(g, dtype=np.float32)))
+            p.grad = np.asarray(g)
+            params.append(p)
+        return params
+
+    def test_scale_loss_multiplies(self):
+        s = LossScaler(init_scale=8.0, dynamic=False)
+        loss = Tensor(np.array(2.0), requires_grad=True)
+        assert s.scale_loss(loss).item() == 16.0
+
+    def test_unscales_gradients(self):
+        s = LossScaler(init_scale=4.0, dynamic=False)
+        params = self._params_with_grads([np.array([8.0])])
+        assert s.step(params)
+        np.testing.assert_allclose(params[0].grad, [2.0])
+        assert params[0].grad.dtype == np.float32
+
+    def test_overflow_skips_and_backs_off(self):
+        s = LossScaler(init_scale=1024.0, dynamic=True, backoff_factor=0.5)
+        params = self._params_with_grads([np.array([np.inf])])
+        assert not s.step(params)
+        assert s.scale == 512.0
+        assert params[0].grad is None
+        assert s.num_overflows == 1
+
+    def test_nan_detected(self):
+        s = LossScaler(dynamic=True)
+        params = self._params_with_grads([np.array([np.nan])])
+        assert not s.step(params)
+
+    def test_growth_after_interval(self):
+        s = LossScaler(init_scale=2.0, dynamic=True, growth_interval=3,
+                       growth_factor=2.0)
+        for _ in range(3):
+            params = self._params_with_grads([np.array([1.0])])
+            assert s.step(params)
+        assert s.scale == 4.0
+
+    def test_static_never_changes(self):
+        s = LossScaler(init_scale=16.0, dynamic=False, growth_interval=1)
+        for _ in range(5):
+            s.step(self._params_with_grads([np.array([1.0])]))
+        assert s.scale == 16.0
+
+    def test_scale_floor(self):
+        s = LossScaler(init_scale=2.0, dynamic=True, min_scale=1.0)
+        for _ in range(10):
+            s.step(self._params_with_grads([np.array([np.inf])]))
+        assert s.scale == 1.0
+
+    def test_invalid_init_scale(self):
+        with pytest.raises(ValueError):
+            LossScaler(init_scale=0.0)
+
+    def test_grads_finite_ignores_missing(self):
+        p = Parameter(np.zeros(2))
+        assert grads_finite([p])
+
+
+class TestFp16Policy:
+    def test_conv_weights_half_bn_fp32(self):
+        model = Sequential(Conv2D(2, 3, 3), BatchNorm2D(3))
+        apply_fp16_policy(model)
+        conv, bn = model[0], model[1]
+        assert conv.weight.data.dtype == np.float16
+        assert conv.weight.master is not None
+        assert bn.gamma.data.dtype == np.float32
+        assert conv.bias.data.dtype == np.float32  # 1-D stays fp32
+
+    def test_forward_in_fp16(self):
+        model = Sequential(Conv2D(2, 3, 3, bias=False))
+        apply_fp16_policy(model)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 2, 6, 6)).astype(np.float16))
+        out = model(x)
+        assert out.dtype == np.float16

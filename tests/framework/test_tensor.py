@@ -1,0 +1,259 @@
+"""Autodiff core: arithmetic, broadcasting, reductions, shape ops."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import Tensor, concatenate, no_grad, stack
+from repro.framework.tensor import _unbroadcast
+
+
+def fd_grad(f, x, eps=1e-6):
+    """Central finite-difference gradient of scalar f at array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestBasics:
+    def test_leaf_has_no_parents(self):
+        t = Tensor([1.0, 2.0])
+        assert t.op_name == "leaf"
+        assert t._parents == ()
+
+    def test_shape_dtype_size(self):
+        t = Tensor(np.zeros((2, 3), dtype=np.float32))
+        assert t.shape == (2, 3)
+        assert t.dtype == np.float32
+        assert t.size == 6
+        assert t.ndim == 2
+        assert len(t) == 2
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_breaks_tape(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_numpy_returns_payload(self):
+        data = np.arange(4.0)
+        assert Tensor(data).numpy() is data
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1, 1])
+        np.testing.assert_allclose(y.grad, [1, 1])
+
+    def test_mul_backward(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, [3, 4])
+        np.testing.assert_allclose(y.grad, [1, 2])
+
+    def test_sub_rsub(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        (10.0 - x).backward()
+        np.testing.assert_allclose(x.grad, [-1.0])
+
+    def test_div_backward(self):
+        x = Tensor(np.array([4.0]), requires_grad=True)
+        y = Tensor(np.array([2.0]), requires_grad=True)
+        (x / y).backward()
+        np.testing.assert_allclose(x.grad, [0.5])
+        np.testing.assert_allclose(y.grad, [-1.0])
+
+    def test_neg_pow(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        ((-x) ** 2).backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_scalar_coercion(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x * 3 + 1).backward()
+        np.testing.assert_allclose(x.grad, [3.0])
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        x = Tensor(np.zeros((2, 3)), requires_grad=True)
+        b = Tensor(np.zeros((3,)), requires_grad=True)
+        (x + b).sum().backward()
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2, 2, 2])
+
+    def test_broadcast_mul_keepdim_axis(self):
+        x = Tensor(np.ones((2, 1, 3)), requires_grad=True)
+        y = Tensor(np.ones((2, 4, 3)), requires_grad=True)
+        (x * y).sum().backward()
+        assert x.grad.shape == (2, 1, 3)
+        np.testing.assert_allclose(x.grad, 4.0)
+
+    def test_matmul_backward(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        ta, tb = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, fd_grad(lambda m: (m @ b).sum(), a),
+                                   rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(tb.grad, fd_grad(lambda m: (a @ m).sum(), b),
+                                   rtol=1e-5, atol=1e-7)
+
+    def test_diamond_graph_accumulates(self):
+        # x used twice: grad must accumulate through both paths.
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2 * 2.0 + 3.0])
+
+    def test_repeated_use_in_chain(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        z = (x + x) * x
+        z.backward()
+        np.testing.assert_allclose(x.grad, [4 * 1.5])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        x.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_sum_axis_no_keepdims(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        s = x.sum(axis=0)
+        assert s.shape == (3,)
+        s.sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_sum_negative_axis(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        x.sum(axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_mean_scales(self):
+        x = Tensor(np.ones((4,)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, 0.25)
+
+    def test_mean_axis_tuple(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        m = x.mean(axis=(1, 2))
+        assert m.shape == (2,)
+        m.sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0 / 12)
+
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.transpose(1, 0)
+        assert y.shape == (3, 2)
+        (y * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(x.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_getitem_scatters_grad(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 1, 0, 0])
+
+    def test_concatenate_splits_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        c = concatenate([a, b], axis=1)
+        assert c.shape == (2, 5)
+        (c * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2.0)
+        np.testing.assert_allclose(b.grad, 2.0)
+
+    def test_stack_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        s = stack([a, b], axis=0)
+        assert s.shape == (2, 3)
+        s.sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("name", ["exp", "log", "sqrt", "sigmoid", "tanh"])
+    def test_unary_matches_fd(self, name):
+        rng = np.random.default_rng(1)
+        x = np.abs(rng.normal(size=5)) + 0.5
+        t = Tensor(x, requires_grad=True)
+        getattr(t, name)().sum().backward()
+        ref = fd_grad(lambda a: getattr(np, name if name != "sigmoid" else "tanh")(a).sum()
+                      if name != "sigmoid" else (1 / (1 + np.exp(-a))).sum(), x)
+        np.testing.assert_allclose(t.grad, ref, rtol=1e-4, atol=1e-6)
+
+    def test_relu_gradient_mask(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 0, 1])
+
+    def test_clip_gradient(self):
+        x = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        x.clip(-1, 1).sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 0])
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_tape(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            pass
+        assert (x * 2).requires_grad
+
+
+class TestUnbroadcast:
+    @given(st.sampled_from([(3,), (1,), (2, 3), (1, 3), (2, 1), (1, 1)]))
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, shape):
+        target = np.zeros(shape)
+        g = np.ones(np.broadcast_shapes(shape, (4, 2, 3)))
+        out = _unbroadcast(g, shape)
+        assert out.shape == shape
+        # Total mass is conserved.
+        assert out.sum() == g.sum()
+
+
+class TestHypothesisGradients:
+    @given(
+        st.integers(2, 4), st.integers(2, 4),
+        st.sampled_from(["add", "mul", "div"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_binary_op_gradcheck(self, n, m, op):
+        rng = np.random.default_rng(n * 10 + m)
+        a = rng.normal(size=(n, m)) + 3.0
+        b = rng.normal(size=(m,)) + 3.0  # broadcast path
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        f = {"add": lambda x, y: x + y, "mul": lambda x, y: x * y,
+             "div": lambda x, y: x / y}[op]
+        f(ta, tb).sum().backward()
+        fnp = {"add": np.add, "mul": np.multiply, "div": np.divide}[op]
+        np.testing.assert_allclose(
+            ta.grad, fd_grad(lambda x: fnp(x, b).sum(), a), rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(
+            tb.grad, fd_grad(lambda y: fnp(a, y).sum(), b), rtol=1e-4, atol=1e-6)

@@ -1,0 +1,122 @@
+"""File-system, local-storage, fabric, and topology models."""
+import numpy as np
+import pytest
+
+from repro.climate import PAPER_DATASET
+from repro.comm import Link
+from repro.hpc import (
+    FabricModel,
+    PIZ_DAINT,
+    SUMMIT,
+    SharedFileSystem,
+    daint_tmpfs,
+    dragonfly,
+    fat_tree,
+    summit_ssd,
+    topology_stats,
+)
+
+
+class TestSharedFileSystem:
+    FS = SharedFileSystem(SUMMIT.filesystem)
+
+    def test_under_capacity_full_bandwidth(self):
+        assert self.FS.client_bandwidth(10, 1e9) == 1e9
+
+    def test_over_capacity_fair_share(self):
+        bw = self.FS.client_bandwidth(1000, 1e9)
+        assert bw == pytest.approx(self.FS.spec.effective_read_bandwidth / 1000)
+
+    def test_saturation_metric(self):
+        assert self.FS.saturation(100, 1e9) == pytest.approx(1.0)
+
+    def test_read_time_capped(self):
+        # 1000 clients at 1 GB/s each cannot exceed the 100 GB/s limit.
+        t = self.FS.read_time(1e12, 1000, 1e9)
+        assert t == pytest.approx(10.0)
+
+    def test_read_time_uncapped(self):
+        t = self.FS.read_time(1e10, 2, 1e9)
+        assert t == pytest.approx(5.0)
+
+    def test_zero_bytes(self):
+        assert self.FS.read_time(0, 10, 1e9) == 0.0
+
+    def test_variability_grows_with_saturation(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        calm = self.FS.throughput_variability(0.3, rng1, samples=500)
+        stressed = self.FS.throughput_variability(1.5, rng2, samples=500)
+        assert stressed.std() > calm.std()
+        assert stressed.mean() < calm.mean()
+
+
+class TestNodeLocalStorage:
+    def test_summit_ssd_holds_node_shard(self):
+        # 1500 samples/node x ~58 MB must fit the 800 GB burst buffer.
+        ssd = summit_ssd()
+        assert ssd.max_samples(PAPER_DATASET.sample_bytes) >= 1500
+
+    def test_daint_tmpfs_much_smaller(self):
+        tmpfs = daint_tmpfs()
+        assert tmpfs.max_samples(PAPER_DATASET.sample_bytes) < 1500
+        assert tmpfs.kind == "tmpfs"
+        # But per-GPU requirement (250 samples) fits.
+        assert tmpfs.max_samples(PAPER_DATASET.sample_bytes) >= 250
+
+    def test_times(self):
+        ssd = summit_ssd()
+        assert ssd.write_time(2.1e9) == pytest.approx(1.0)
+        assert ssd.read_time(6e9) == pytest.approx(1.0)
+
+    def test_fits(self):
+        assert summit_ssd().fits(100e9)
+        assert not daint_tmpfs().fits(100e9)
+
+    def test_sustained_read_capped(self):
+        assert summit_ssd().sustained_read_rate(100e9) == 6e9
+
+    def test_invalid_sample_bytes(self):
+        with pytest.raises(ValueError):
+            summit_ssd().max_samples(0)
+
+
+class TestFabric:
+    def test_aggregate_scales_with_nodes(self):
+        f1 = FabricModel(Link(1e-6, 25e9), nodes=100)
+        f2 = FabricModel(Link(1e-6, 25e9), nodes=200)
+        assert f2.aggregate_bandwidth == 2 * f1.aggregate_bandwidth
+
+    def test_redistribution_time(self):
+        f = FabricModel(Link(1e-6, 25e9), nodes=1024)
+        t = f.redistribution_time(80e12)  # 80 TB, the naive-overlap volume
+        assert 1.0 < t < 60.0  # seconds, not minutes: IB >> GPFS
+
+    def test_zero_bytes_free(self):
+        f = FabricModel(Link(1e-6, 25e9), nodes=4)
+        assert f.redistribution_time(0.0) == 0.0
+
+
+class TestTopology:
+    def test_fat_tree_diameter(self):
+        g = fat_tree(pods=4, hosts_per_edge=4)
+        stats = topology_stats(g)
+        # host-edge-core-edge-host = 4 hops max.
+        assert stats.diameter == 4
+        assert stats.nodes == 16
+
+    def test_dragonfly_diameter_bounded(self):
+        # Aries dragonfly: "diameter-5 Dragonfly topology".
+        g = dragonfly(groups=6, routers_per_group=4, hosts_per_router=2)
+        stats = topology_stats(g, sample=200)
+        assert stats.diameter <= 5
+
+    def test_avg_hops_below_diameter(self):
+        g = fat_tree(pods=4, hosts_per_edge=2)
+        stats = topology_stats(g)
+        assert 1 <= stats.avg_hops <= stats.diameter
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            fat_tree(pods=1)
+        with pytest.raises(ValueError):
+            dragonfly(groups=1)

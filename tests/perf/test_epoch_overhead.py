@@ -1,0 +1,42 @@
+"""Epoch/validation overhead (Section VI's amortization claim)."""
+import pytest
+
+from repro.hpc import SUMMIT
+from repro.perf import ScalingModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ScalingModel("tiramisu", SUMMIT, "fp32", lag=1)
+
+
+class TestEpochOverhead:
+    def test_validation_overhead_small(self, model):
+        # "keeping the epoch sizes large enough that this overhead is
+        # negligible once amortized over the steps"
+        _, overhead = model.epoch_time(gpus=6144, samples_per_gpu=250)
+        assert overhead < 0.05
+
+    def test_overhead_constant_across_scale(self, model):
+        # The staging layout holds per-GPU epoch size constant, so the
+        # overhead fraction does not grow with GPU count.
+        _, small = model.epoch_time(gpus=6, samples_per_gpu=250)
+        _, large = model.epoch_time(gpus=24576, samples_per_gpu=250)
+        assert large == pytest.approx(small, abs=0.01)
+
+    def test_epoch_time_scales_with_samples(self, model):
+        t1, _ = model.epoch_time(gpus=96, samples_per_gpu=250)
+        t2, _ = model.epoch_time(gpus=96, samples_per_gpu=500)
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+    def test_paper_two_hour_convergence_window(self, model):
+        # Section VII-C: convergence runs on up to 1024 nodes targeted "a
+        # total training time of just over two hours".  With 250 samples
+        # per GPU per epoch, a plausible epoch count fits that window.
+        epoch_s, _ = model.epoch_time(gpus=6144, samples_per_gpu=250)
+        total_hours = 60 * epoch_s / 3600  # 60 epochs
+        assert 0.5 < total_hours < 6.0
+
+    def test_small_epoch_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.epoch_time(gpus=6, samples_per_gpu=0)

@@ -1,0 +1,53 @@
+"""Strong scaling (constant global batch, Section III)."""
+import pytest
+
+from repro.hpc import SUMMIT
+from repro.perf import ScalingModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ScalingModel("deeplabv3+", SUMMIT, "fp32", lag=1)
+
+
+class TestStrongScaling:
+    def test_doubling_gains_shrink_vs_weak(self, model):
+        # Weak scaling: doubling workers nearly doubles images/s.  Strong
+        # scaling at fixed global batch: the gain collapses as per-worker
+        # compute shrinks toward the fixed communication cost.
+        b = 8192
+        weak_gain = (model.point(8192).images_per_second
+                     / model.point(4096).images_per_second)
+        strong_gain = (model.strong_scaling_point(8192, b).images_per_second
+                       / model.strong_scaling_point(4096, b).images_per_second)
+        assert weak_gain > 1.9
+        assert strong_gain < weak_gain
+
+    def test_single_worker_is_perfect(self, model):
+        p = model.strong_scaling_point(1, 64)
+        assert p.efficiency == pytest.approx(1.0)
+
+    def test_throughput_saturates(self, model):
+        # Images/s gains flatten as per-worker compute shrinks toward the
+        # fixed communication cost.
+        b = 4096
+        r1 = model.strong_scaling_point(256, b).images_per_second
+        r2 = model.strong_scaling_point(4096, b).images_per_second
+        speedup = r2 / r1
+        assert speedup < 16  # far below the ideal 16x
+
+    def test_efficiency_monotone_decreasing(self, model):
+        b = 8192
+        effs = [model.strong_scaling_point(n, b).efficiency
+                for n in (1, 64, 512, 4096, 8192)]
+        assert all(e2 <= e1 + 1e-12 for e1, e2 in zip(effs, effs[1:]))
+
+    def test_batch_smaller_than_workers_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.strong_scaling_point(128, 64)
+
+    def test_step_time_shrinks_with_workers(self, model):
+        b = 4096
+        t1 = model.strong_scaling_point(64, b).step_time_s
+        t2 = model.strong_scaling_point(1024, b).step_time_s
+        assert t2 < t1

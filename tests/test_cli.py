@@ -1,0 +1,51 @@
+"""Command-line interface."""
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "deeplabv3+" in out and "tiramisu" in out
+
+    def test_fig4_custom(self, capsys):
+        assert main(["fig4", "--network", "tiramisu_4ch", "--system",
+                     "piz_daint", "--precision", "fp32", "--lag", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "piz_daint" in out
+        assert "eff %" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "global" in capsys.readouterr().out
+
+    def test_flops(self, capsys):
+        assert main(["flops"]) == 0
+        assert "TF/sample" in capsys.readouterr().out
+
+    def test_staging(self, capsys):
+        assert main(["staging", "--nodes", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "naive" in out and "distributed" in out
+
+    def test_control_plane(self, capsys):
+        assert main(["control-plane", "--ranks", "128", "--tensors", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "centralized" in out
+        assert "orders identical: True" in out
+
+    def test_train_tiny(self, capsys):
+        assert main(["train", "--samples", "8", "--epochs", "1",
+                     "--grid", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "validation mean IoU" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--network", "alexnet"])
