@@ -30,7 +30,12 @@ from .reducer import (
     ring_allreduce,
     tree_allreduce,
 )
-from .timeline import TimelineEvent, build_timeline, to_chrome_trace
+from .timeline import (
+    TimelineEvent,
+    build_timeline,
+    chrome_trace_records,
+    to_chrome_trace,
+)
 from .simmpi import TrafficStats, World
 
 __all__ = [
@@ -44,6 +49,7 @@ __all__ = [
     "sparse_allreduce",
     "TimelineEvent",
     "build_timeline",
+    "chrome_trace_records",
     "to_chrome_trace",
     "TrafficStats",
     "naive_allreduce",

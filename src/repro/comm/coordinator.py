@@ -25,6 +25,22 @@ import heapq
 
 import numpy as np
 
+from ..telemetry import get_active
+
+
+def _record_negotiation(control_plane: str, result: "NegotiationResult") -> None:
+    """Report a finished negotiation round to the active telemetry session."""
+    tel = get_active()
+    if not tel.enabled:
+        return
+    m = tel.metrics
+    m.counter("comm.negotiation_rounds", control_plane=control_plane).inc()
+    m.histogram("comm.controller_load",
+                control_plane=control_plane).observe(result.controller_load)
+    m.histogram("comm.negotiation_messages",
+                control_plane=control_plane).observe(
+        float(result.messages_sent.sum() + result.messages_received.sum()))
+
 __all__ = [
     "ReadinessSchedule",
     "NegotiationResult",
@@ -107,7 +123,9 @@ def centralized_negotiation(schedule: ReadinessSchedule,
     received[1:] += tensors
     order = sorted(range(tensors), key=lambda t: (all_ready[t], t))
     decisions = np.sort(all_ready) + hop_latency
-    return NegotiationResult(order, decisions, sent, received)
+    result = NegotiationResult(order, decisions, sent, received)
+    _record_negotiation("centralized", result)
+    return result
 
 
 def tree_parent(rank: int, radix: int) -> int | None:
@@ -170,4 +188,6 @@ def hierarchical_negotiation(schedule: ReadinessSchedule, radix: int = 4,
     max_down_hops = max((depth(r) for r in range(ranks)), default=0)
     order = sorted(range(tensors), key=lambda t: (all_ready[t], t))
     decisions = np.sort(all_ready) + max_down_hops * hop_latency
-    return NegotiationResult(order, decisions, sent, received)
+    result = NegotiationResult(order, decisions, sent, received)
+    _record_negotiation("hierarchical", result)
+    return result

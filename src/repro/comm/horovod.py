@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import get_active
 from .coordinator import (
     NegotiationResult,
     ReadinessSchedule,
@@ -129,35 +130,49 @@ def allreduce_gradients(
         if list(grads.keys()) != names:
             raise ValueError(f"rank {r} tensor names differ from rank 0")
 
+    tel = get_active()
+    tracer = tel.tracer
+
     # Control plane: negotiate a total order over tensors.
-    schedule = ReadinessSchedule.random(n, len(names), seed=seed)
-    if cfg.control_plane == "centralized":
-        negotiation = centralized_negotiation(schedule)
-    else:
-        negotiation = hierarchical_negotiation(schedule, radix=cfg.control_radix)
+    with tracer.span("negotiate", category="comm", tensors=len(names),
+                     control_plane=cfg.control_plane):
+        schedule = ReadinessSchedule.random(n, len(names), seed=seed)
+        if cfg.control_plane == "centralized":
+            negotiation = centralized_negotiation(schedule)
+        else:
+            negotiation = hierarchical_negotiation(schedule, radix=cfg.control_radix)
     ordered_names = [names[t] for t in negotiation.order]
 
     # Fusion: pack negotiated tensors into buffers.
     sizes = {k: per_rank_grads[0][k].nbytes for k in names}
     plan = fuse_order(ordered_names, sizes, cfg.fusion_threshold_bytes)
+    if tel.enabled:
+        m = tel.metrics
+        m.counter("comm.fused_bytes").inc(sum(plan.group_bytes))
+        m.counter("comm.collectives").inc(plan.num_collectives)
+        for nbytes in plan.group_bytes:
+            m.histogram("comm.fusion_buffer_bytes").observe(nbytes)
 
     # Data plane: one collective per fusion buffer.
     reduce_fn = _ALGORITHMS[cfg.algorithm]
     world.stats.reset()
     averaged: list[dict[str, np.ndarray]] = [dict() for _ in range(n)]
-    for group in plan.groups:
+    for buffer_index, group in enumerate(plan.groups):
         flat_parts = []
         for r in range(n):
             flat_parts.append(
                 np.concatenate([per_rank_grads[r][k].ravel() for k in group])
             )
-        if cfg.algorithm == "hierarchical":
-            results = reduce_fn(
-                world, flat_parts, gpus_per_node=cfg.gpus_per_node,
-                mpi_ranks_per_node=cfg.mpi_ranks_per_node, average=True,
-            )
-        else:
-            results = reduce_fn(world, flat_parts, average=True)
+        with tracer.span("fused_allreduce", category="comm",
+                         buffer=buffer_index, tensors=len(group),
+                         bytes=plan.group_bytes[buffer_index]):
+            if cfg.algorithm == "hierarchical":
+                results = reduce_fn(
+                    world, flat_parts, gpus_per_node=cfg.gpus_per_node,
+                    mpi_ranks_per_node=cfg.mpi_ranks_per_node, average=True,
+                )
+            else:
+                results = reduce_fn(world, flat_parts, average=True)
         # Unpack the fused buffer back into named tensors.
         for r in range(n):
             offset = 0

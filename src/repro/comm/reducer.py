@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import get_active
 from .simmpi import World
 
 __all__ = [
@@ -28,6 +29,18 @@ __all__ = [
     "tree_allreduce",
     "hierarchical_allreduce",
 ]
+
+
+def _reduce_span(algorithm: str, world: World, buffers: list[np.ndarray]):
+    """Span + byte accounting around one collective (no-op when disabled)."""
+    tel = get_active()
+    if tel.enabled:
+        payload = int(np.asarray(buffers[0]).nbytes)
+        tel.metrics.counter("comm.allreduce_calls", algorithm=algorithm).inc()
+        tel.metrics.counter("comm.reduced_bytes").inc(payload * world.size)
+        return tel.tracer.span(f"allreduce.{algorithm}", category="comm",
+                               ranks=world.size, payload_bytes=payload)
+    return tel.tracer.span("")  # NULL_SPAN
 
 
 def _check_buffers(world: World, buffers: list[np.ndarray]) -> list[np.ndarray]:
@@ -47,20 +60,27 @@ def naive_allreduce(world: World, buffers: list[np.ndarray], average: bool = Fal
                     tag: int = 10) -> list[np.ndarray]:
     """Gather-to-root + broadcast; the O(n*V) baseline."""
     buffers = _check_buffers(world, buffers)
-    gathered = world.gather(buffers, root=0, tag=tag)
-    total = gathered[0].copy()
-    for b in gathered[1:]:
-        total += b
-    if average:
-        total /= world.size
-    results = world.broadcast(total, root=0, tag=tag + 1)
-    return [np.array(r, copy=True) for r in results]
+    with _reduce_span("naive", world, buffers):
+        gathered = world.gather(buffers, root=0, tag=tag)
+        total = gathered[0].copy()
+        for b in gathered[1:]:
+            total += b
+        if average:
+            total /= world.size
+        results = world.broadcast(total, root=0, tag=tag + 1)
+        return [np.array(r, copy=True) for r in results]
 
 
 def ring_allreduce(world: World, buffers: list[np.ndarray], average: bool = False,
                    tag: int = 20) -> list[np.ndarray]:
     """Reduce-scatter + all-gather ring (the NCCL algorithm)."""
     buffers = _check_buffers(world, buffers)
+    with _reduce_span("ring", world, buffers):
+        return _ring_allreduce(world, buffers, average, tag)
+
+
+def _ring_allreduce(world: World, buffers: list[np.ndarray], average: bool,
+                    tag: int) -> list[np.ndarray]:
     n = world.size
     if n == 1:
         out = buffers[0].copy()
@@ -104,6 +124,12 @@ def tree_allreduce(world: World, buffers: list[np.ndarray], average: bool = Fals
                    tag: int = 30) -> list[np.ndarray]:
     """Binomial-tree reduce to rank 0, then binomial broadcast."""
     buffers = _check_buffers(world, buffers)
+    with _reduce_span("tree", world, buffers):
+        return _tree_allreduce(world, buffers, average, tag)
+
+
+def _tree_allreduce(world: World, buffers: list[np.ndarray], average: bool,
+                    tag: int) -> list[np.ndarray]:
     n = world.size
     acc = [b.copy() for b in buffers]
     # Reduce: at round k, ranks with bit k set send to (rank - 2^k).
@@ -155,6 +181,19 @@ def hierarchical_allreduce(
     World size must be a multiple of ``gpus_per_node``.
     """
     buffers = _check_buffers(world, buffers)
+    with _reduce_span("hierarchical", world, buffers):
+        return _hierarchical_allreduce(world, buffers, gpus_per_node,
+                                       mpi_ranks_per_node, average, tag)
+
+
+def _hierarchical_allreduce(
+    world: World,
+    buffers: list[np.ndarray],
+    gpus_per_node: int,
+    mpi_ranks_per_node: int,
+    average: bool,
+    tag: int,
+) -> list[np.ndarray]:
     n = world.size
     if n % gpus_per_node:
         raise ValueError(f"world size {n} not divisible by gpus_per_node {gpus_per_node}")

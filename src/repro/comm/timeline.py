@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from .coordinator import NegotiationResult
 from .horovod import FusionPlan
 
-__all__ = ["TimelineEvent", "build_timeline", "to_chrome_trace"]
+__all__ = ["TimelineEvent", "build_timeline", "chrome_trace_records",
+           "to_chrome_trace"]
 
 
 @dataclass(frozen=True)
@@ -73,8 +74,14 @@ def build_timeline(
     return events
 
 
-def to_chrome_trace(events: list[TimelineEvent]) -> str:
-    """Serialize to the Chrome tracing JSON format."""
+def chrome_trace_records(events: list[TimelineEvent], pid: int = 0) -> list[dict]:
+    """Serialize events to Chrome trace records (the single serializer).
+
+    Both :func:`to_chrome_trace` and the telemetry Chrome exporter
+    (:func:`repro.telemetry.export.chrome_trace`, which merges these events
+    into the whole-run trace) go through this function, so the event format
+    is defined in exactly one place.
+    """
     records = []
     for ev in events:
         records.append({
@@ -83,8 +90,23 @@ def to_chrome_trace(events: list[TimelineEvent]) -> str:
             "ph": "X",                       # complete event
             "ts": ev.start_us,
             "dur": max(ev.duration_us, 0.01),
-            "pid": 0,
+            "pid": pid,
             "tid": ev.lane,
             "args": {"phase": ev.phase},
         })
-    return json.dumps({"traceEvents": records}, indent=1)
+    return records
+
+
+def to_chrome_trace(events: list[TimelineEvent], path=None) -> dict:
+    """Build the Chrome tracing document; optionally write it to ``path``.
+
+    Returns the trace dict (``json.dumps``-able as-is).  When ``path`` is
+    given the document is also written there, ready for
+    ``chrome://tracing`` / Perfetto.
+    """
+    doc = {"traceEvents": chrome_trace_records(events)}
+    if path is not None:
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(doc, indent=1))
+    return doc

@@ -21,6 +21,7 @@ from ..comm.compression import TopKCompressor, sparse_allreduce
 from ..comm.horovod import ExchangeReport, HorovodConfig, allreduce_gradients
 from ..comm.simmpi import World
 from ..framework.module import Module
+from ..telemetry import get_active
 from .trainer import StepResult, TrainConfig, Trainer
 
 __all__ = ["DistributedTrainer", "DistributedStepResult"]
@@ -104,21 +105,28 @@ class DistributedTrainer:
     def train_step(self, rank_batches: list[tuple[np.ndarray, np.ndarray]]
                    ) -> DistributedStepResult:
         """One synchronous step: local backward, all-reduce, local update."""
+        tel = get_active()
+        tracer = tel.tracer
         n = self.world.size
         if len(rank_batches) != n:
             raise ValueError(f"need {n} rank batches, got {len(rank_batches)}")
         losses = []
         all_grads = []
         any_skip = False
-        for trainer, (images, labels) in zip(self.trainers, rank_batches):
-            trainer.model.train(True)
-            trainer.model.zero_grad()
-            loss = trainer.compute_loss(images, labels)
-            if trainer.scaler is not None:
-                trainer.scaler.scale_loss(loss).backward()
-            else:
-                loss.backward()
-            losses.append(float(loss.item()))
+        with tracer.span("forward_backward", category="trainer",
+                         step=self._step, ranks=n):
+            for rank, (trainer, (images, labels)) in enumerate(
+                    zip(self.trainers, rank_batches)):
+                trainer.model.train(True)
+                trainer.model.zero_grad()
+                with tracer.span("replica_fwd_bwd", category="trainer",
+                                 rank=rank):
+                    loss = trainer.compute_loss(images, labels)
+                    if trainer.scaler is not None:
+                        trainer.scaler.scale_loss(loss).backward()
+                    else:
+                        loss.backward()
+                losses.append(float(loss.item()))
         if self.trainers[0].scaler is not None:
             # Overflow on ANY rank skips the global step (all ranks must act
             # identically or replicas diverge).
@@ -130,6 +138,10 @@ class DistributedTrainer:
                                          (tr.scaler for tr in self.trainers))
                     for p in t.model.parameters():
                         p.grad = None
+                tracer.instant("global_loss_scale_overflow",
+                               category="trainer", step=self._step)
+                if tel.enabled:
+                    tel.metrics.counter("dist.overflow_steps").inc()
                 return DistributedStepResult(
                     mean_loss=float(np.mean(losses)), per_rank_loss=losses,
                     exchange=None, skipped=True,
@@ -138,17 +150,27 @@ class DistributedTrainer:
             all_grads.append({p.name: np.asarray(p.grad, dtype=np.float32)
                               for p in trainer.model.parameters()
                               if p.grad is not None})
-        if self._compressors is not None:
-            averaged, report = self._compressed_exchange(all_grads)
-        else:
-            averaged, report = allreduce_gradients(
-                self.world, all_grads, self.horovod, seed=self._step
-            )
-        for trainer, grads in zip(self.trainers, averaged):
-            for p in trainer.model.parameters():
-                if p.name in grads:
-                    p.grad = grads[p.name]
-            trainer.optimizer.step()
+        with tracer.span("gradient_exchange", category="comm",
+                         step=self._step, tensors=len(all_grads[0])):
+            if self._compressors is not None:
+                averaged, report = self._compressed_exchange(all_grads)
+            else:
+                averaged, report = allreduce_gradients(
+                    self.world, all_grads, self.horovod, seed=self._step
+                )
+        with tracer.span("optimizer_update", category="trainer",
+                         step=self._step):
+            for trainer, grads in zip(self.trainers, averaged):
+                for p in trainer.model.parameters():
+                    if p.name in grads:
+                        p.grad = grads[p.name]
+                trainer.optimizer.step()
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("dist.steps").inc()
+            m.gauge("dist.mean_loss").set(float(np.mean(losses)))
+            m.counter("comm.exchange_messages").inc(report.data_messages)
+            m.counter("comm.exchange_bytes").inc(report.data_bytes)
         self._step += 1
         return DistributedStepResult(
             mean_loss=float(np.mean(losses)), per_rank_loss=losses,

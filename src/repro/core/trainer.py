@@ -11,11 +11,15 @@ import numpy as np
 
 from ..framework import LossScaler, Tensor, apply_fp16_policy, no_grad
 from ..framework.module import Module
+from ..telemetry import get_active
 from .losses import class_weights, pixel_weight_map
 from .metrics import SegmentationReport
 from .optim import LARC, LARS, SGD, Adam, GradientLag
 
 __all__ = ["TrainConfig", "StepResult", "Trainer", "build_optimizer"]
+
+_OPTIMIZERS = ("sgd", "adam", "lars", "larc")
+_WEIGHTINGS = ("none", "inverse", "inverse_sqrt")
 
 
 @dataclass(frozen=True)
@@ -36,6 +40,12 @@ class TrainConfig:
     def __post_init__(self):
         if self.precision not in ("fp32", "fp16"):
             raise ValueError(f"unsupported precision {self.precision!r}")
+        if self.optimizer not in _OPTIMIZERS:
+            raise ValueError(f"unknown optimizer {self.optimizer!r}; "
+                             f"expected one of {_OPTIMIZERS}")
+        if self.weighting not in _WEIGHTINGS:
+            raise ValueError(f"unknown weighting strategy {self.weighting!r}; "
+                             f"expected one of {_WEIGHTINGS}")
 
 
 def build_optimizer(model: Module, config: TrainConfig):
@@ -73,9 +83,13 @@ class Trainer:
     """Owns a model, its optimizer, precision policy, and loss weighting."""
 
     def __init__(self, model: Module, config: TrainConfig,
-                 class_frequencies: np.ndarray | None = None):
+                 class_frequencies: np.ndarray | None = None,
+                 telemetry=None):
         self.model = model
         self.config = config
+        # Explicit session wins; None resolves the active (default disabled)
+        # session at each step, so `activate(...)` works after construction.
+        self.telemetry = telemetry
         freqs = (np.asarray(class_frequencies)
                  if class_frequencies is not None
                  else np.full(config.num_classes, 1.0 / config.num_classes))
@@ -107,24 +121,48 @@ class Trainer:
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> StepResult:
         """Forward, backward, (scaled) update; returns the step outcome."""
+        tel = self.telemetry or get_active()
+        tracer = tel.tracer
         self.model.train(True)
         self.model.zero_grad()
-        loss = self.compute_loss(images, labels)
-        if self.scaler is not None:
-            scaled = self.scaler.scale_loss(loss)
-            scaled.backward()
-            ok = self.scaler.step(self.model.parameters())
-            if not ok:
-                result = StepResult(loss=float(loss.item()), skipped=True)
-                self.history.append(result)
-                return result
-        else:
-            loss.backward()
-        gnorm = self._grad_norm()
-        self.optimizer.step()
-        result = StepResult(loss=float(loss.item()), grad_norm=gnorm)
+        with tracer.span("train_step", category="trainer",
+                         step=len(self.history)) as step_span:
+            with tracer.span("forward", category="trainer"):
+                loss = self.compute_loss(images, labels)
+            if self.scaler is not None:
+                with tracer.span("backward", category="trainer"):
+                    scaled = self.scaler.scale_loss(loss)
+                    scaled.backward()
+                ok = self.scaler.step(self.model.parameters())
+                if not ok:
+                    tracer.instant("loss_scale_overflow", category="trainer",
+                                   scale=self.scaler.scale)
+                    result = StepResult(loss=float(loss.item()), skipped=True)
+            else:
+                ok = True
+                with tracer.span("backward", category="trainer"):
+                    loss.backward()
+            if ok:
+                gnorm = self._grad_norm()
+                with tracer.span("optimizer_step", category="trainer"):
+                    self.optimizer.step()
+                result = StepResult(loss=float(loss.item()), grad_norm=gnorm)
         self.history.append(result)
+        self._record_step_metrics(tel, step_span, result)
         return result
+
+    def _record_step_metrics(self, tel, step_span, result: StepResult) -> None:
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        m.counter("trainer.steps").inc()
+        if result.skipped:
+            m.counter("trainer.overflow_steps").inc()
+        m.histogram("trainer.step_time_s").observe(step_span.duration_s)
+        m.gauge("trainer.loss").set(result.loss)
+        m.gauge("trainer.grad_norm").set(result.grad_norm)
+        if self.scaler is not None:
+            m.gauge("trainer.loss_scale").set(self.scaler.scale)
 
     def _grad_norm(self) -> float:
         total = 0.0

@@ -25,6 +25,7 @@ import threading
 from dataclasses import dataclass
 
 from ..hpc.events import EventQueue
+from ..telemetry import get_active
 
 __all__ = ["PipelineStats", "PipelineSimulator", "PrefetchPipeline", "pipeline_throughput"]
 
@@ -174,12 +175,14 @@ class PrefetchPipeline:
 
     _SENTINEL = object()
 
-    def __init__(self, reader, indices, num_workers: int = 4, prefetch_depth: int = 8):
+    def __init__(self, reader, indices, num_workers: int = 4, prefetch_depth: int = 8,
+                 telemetry=None):
         if num_workers < 1 or prefetch_depth < 1:
             raise ValueError("num_workers and prefetch_depth must be >= 1")
         self.reader = reader
         self.indices = list(indices)
         self.num_workers = num_workers
+        self.telemetry = telemetry
         self.queue: queue.Queue = queue.Queue(maxsize=prefetch_depth)
         self._results: dict[int, object] = {}
         self._next_emit = 0
@@ -188,16 +191,26 @@ class PrefetchPipeline:
         self._threads: list[threading.Thread] = []
 
     def _worker(self):
+        tel = self.telemetry or get_active()
+        tracer = tel.tracer
         while True:
             with self._lock:
                 try:
                     slot, index = next(self._task_iter)
                 except StopIteration:
                     return
-            sample = self.reader(index)
+            with tracer.span("read_sample", category="io",
+                             index=int(index)) as sp:
+                sample = self.reader(index)
+            if tel.enabled:
+                tel.metrics.histogram("io.read_latency_s").observe(sp.duration_s)
+                tel.metrics.counter("io.samples_read").inc()
             self.queue.put((slot, sample))
+            if tel.enabled:
+                tel.metrics.gauge("io.queue_depth").set(self.queue.qsize())
 
     def __iter__(self):
+        tel = self.telemetry or get_active()
         for _ in range(self.num_workers):
             t = threading.Thread(target=self._worker, daemon=True)
             t.start()
@@ -209,7 +222,11 @@ class PrefetchPipeline:
             if next_slot in pending:
                 sample = pending.pop(next_slot)
             else:
-                slot, sample_in = self.queue.get()
+                with tel.tracer.span("dequeue_sample", category="io") as sp:
+                    slot, sample_in = self.queue.get()
+                if tel.enabled:
+                    tel.metrics.histogram("io.dequeue_wait_s").observe(sp.duration_s)
+                    tel.metrics.gauge("io.queue_depth").set(self.queue.qsize())
                 if slot != next_slot:
                     pending[slot] = sample_in
                     continue

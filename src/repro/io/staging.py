@@ -27,6 +27,7 @@ from ..comm.simmpi import World
 from ..hpc.filesystem import SharedFileSystem
 from ..hpc.network import FabricModel
 from ..hpc.specs import SystemSpec
+from ..telemetry import get_active
 from .readers import scaled_read_bandwidth
 
 __all__ = ["StagingReport", "plan_staging", "stage_distributed",
@@ -137,6 +138,8 @@ def stage_distributed(
     flag.  Payloads are file *ids* (metadata-sized); byte volumes are the
     cost model's job.
     """
+    tel = get_active()
+    tracer = tel.tracer
     rng = np.random.default_rng(seed)
     n = world.size
     wanted = [np.sort(rng.choice(num_files, size=files_per_rank, replace=False))
@@ -148,26 +151,31 @@ def stage_distributed(
 
     # Request phase: each rank asks the owner of every wanted file.
     requests: dict[int, list[tuple[int, int]]] = {r: [] for r in range(n)}
-    for r in range(n):
-        for f in wanted[r]:
-            o = int(owner[f])
-            if o != r:
-                world.send(np.int64(f), r, o, tag=100)
-                requests[o].append((r, int(f)))
+    with tracer.span("stage_request", category="io", ranks=n):
+        for r in range(n):
+            for f in wanted[r]:
+                o = int(owner[f])
+                if o != r:
+                    world.send(np.int64(f), r, o, tag=100)
+                    requests[o].append((r, int(f)))
     # Delivery phase: owners answer every request with the file payload.
-    for o in range(n):
-        for requester, f in requests[o]:
-            _ = world.recv(o, requester, tag=100)
-            world.send(np.int64(f), o, requester, tag=101)
-    staged = []
-    for r in range(n):
-        have = set(int(f) for f in wanted[r] if owner[f] == r)
-        for f in wanted[r]:
-            o = int(owner[f])
-            if o != r:
-                got = int(world.recv(r, o, tag=101))
-                have.add(got)
-        staged.append(np.sort(np.array(sorted(have), dtype=np.int64)))
+    with tracer.span("stage_deliver", category="io", ranks=n):
+        for o in range(n):
+            for requester, f in requests[o]:
+                _ = world.recv(o, requester, tag=100)
+                world.send(np.int64(f), o, requester, tag=101)
+        staged = []
+        for r in range(n):
+            have = set(int(f) for f in wanted[r] if owner[f] == r)
+            for f in wanted[r]:
+                o = int(owner[f])
+                if o != r:
+                    got = int(world.recv(r, o, tag=101))
+                    have.add(got)
+            staged.append(np.sort(np.array(sorted(have), dtype=np.int64)))
+    if tel.enabled:
+        tel.metrics.counter("io.staging_requests").inc(
+            sum(len(v) for v in requests.values()))
     distinct_read = len({int(f) for w in wanted for f in w})
     consistent = all(np.array_equal(staged[r], wanted[r]) for r in range(n))
     stats = {
@@ -214,44 +222,53 @@ def stage_files_to_disk(
     owner = np.empty(num_files, dtype=np.int64)
     for r, piece in enumerate(pieces):
         owner[piece] = r
+    tel = get_active()
+    tracer = tel.tracer
     # Each owner reads its piece from the "file system" once.
     cache: dict[int, bytes] = {}
     fs_bytes = 0
-    for r, piece in enumerate(pieces):
-        for f in piece:
-            payload = files[int(f)].read_bytes()
-            cache[int(f)] = payload
-            fs_bytes += len(payload)
+    with tracer.span("stage_fs_read", category="io", ranks=n):
+        for r, piece in enumerate(pieces):
+            for f in piece:
+                payload = files[int(f)].read_bytes()
+                cache[int(f)] = payload
+                fs_bytes += len(payload)
     # Requests, then content delivery over the fabric.
     requests: dict[int, list[tuple[int, int]]] = {r: [] for r in range(n)}
-    for r in range(n):
-        for f in wanted[r]:
-            o = int(owner[f])
-            if o != r:
-                world.send(np.int64(f), r, o, tag=200)
-                requests[o].append((r, int(f)))
+    with tracer.span("stage_request", category="io", ranks=n):
+        for r in range(n):
+            for f in wanted[r]:
+                o = int(owner[f])
+                if o != r:
+                    world.send(np.int64(f), r, o, tag=200)
+                    requests[o].append((r, int(f)))
     fabric_bytes = 0
-    for o in range(n):
-        for requester, f in requests[o]:
-            _ = world.recv(o, requester, tag=200)
-            payload = np.frombuffer(cache[f], dtype=np.uint8)
-            fabric_bytes += payload.nbytes
-            world.send(payload, o, requester, tag=201)
+    with tracer.span("stage_deliver", category="io", ranks=n):
+        for o in range(n):
+            for requester, f in requests[o]:
+                _ = world.recv(o, requester, tag=200)
+                payload = np.frombuffer(cache[f], dtype=np.uint8)
+                fabric_bytes += payload.nbytes
+                world.send(payload, o, requester, tag=201)
     staged_paths: list[list] = []
-    for r in range(n):
-        rank_dir = dest_root / f"rank-{r}"
-        rank_dir.mkdir(parents=True, exist_ok=True)
-        paths = []
-        for f in wanted[r]:
-            o = int(owner[f])
-            if o == r:
-                data = cache[int(f)]
-            else:
-                data = world.recv(r, o, tag=201).tobytes()
-            path = rank_dir / files[int(f)].name
-            path.write_bytes(data)
-            paths.append(path)
-        staged_paths.append(paths)
+    with tracer.span("stage_local_write", category="io", ranks=n):
+        for r in range(n):
+            rank_dir = dest_root / f"rank-{r}"
+            rank_dir.mkdir(parents=True, exist_ok=True)
+            paths = []
+            for f in wanted[r]:
+                o = int(owner[f])
+                if o == r:
+                    data = cache[int(f)]
+                else:
+                    data = world.recv(r, o, tag=201).tobytes()
+                path = rank_dir / files[int(f)].name
+                path.write_bytes(data)
+                paths.append(path)
+            staged_paths.append(paths)
+    if tel.enabled:
+        tel.metrics.counter("io.staging_fs_bytes").inc(fs_bytes)
+        tel.metrics.counter("io.staging_fabric_bytes").inc(fabric_bytes)
     # Verify content integrity against the source.
     consistent = all(
         p.read_bytes() == files[int(f)].read_bytes()

@@ -65,8 +65,23 @@ class TrainingRunResult:
         return ideal_step_s / float(np.median(self.step_times))
 
 
-def simulate_training_run(config: TrainingRunConfig) -> TrainingRunResult:
-    """Run the event simulation and collect the paper-style measurements."""
+def simulate_training_run(config: TrainingRunConfig,
+                          telemetry=None) -> TrainingRunResult:
+    """Run the event simulation and collect the paper-style measurements.
+
+    With an enabled telemetry session (explicit ``telemetry=`` or the
+    active one), every simulated step emits *virtual-time* spans — one
+    ``sim_step`` per step, one ``compute`` per rank, and the exposed
+    all-reduce tail — so the dynamics land in the same Chrome trace as
+    wall-clock spans.  If the session's tracer runs on a
+    :class:`repro.telemetry.SimulatedClock`, the clock is advanced with the
+    simulation.
+    """
+    # Imported lazily: repro.perf is imported by repro.telemetry.metrics.
+    from ..telemetry import SimulatedClock, get_active
+
+    tel = telemetry or get_active()
+    tracer = tel.tracer if tel.enabled else None
     rng = np.random.default_rng(config.seed)
     ev = EventQueue()
     n, steps = config.ranks, config.steps
@@ -85,7 +100,24 @@ def simulate_training_run(config: TrainingRunConfig) -> TrainingRunResult:
         starve = 0.0
 
     state = {"step": 0, "finished": 0, "slowest": 0.0, "step_start": 0.0,
-             "compute_sum": 0.0}
+             "compute_sum": 0.0, "draws": None}
+
+    def emit_step_spans():
+        """Virtual-time spans for the step that just completed."""
+        start = state["step_start"]
+        step_id = tracer.emit(
+            "sim_step", start_s=tracer.epoch + start,
+            duration_s=ev.now - start, category="sim", lane=0,
+            step=state["step"])
+        for r, draw in enumerate(state["draws"]):
+            tracer.emit("compute", start_s=tracer.epoch + start,
+                        duration_s=float(draw) + starve, category="sim",
+                        lane=r + 1, parent_id=step_id, rank=r)
+        if exposed_comm > 0:
+            tracer.emit("allreduce_exposed",
+                        start_s=tracer.epoch + ev.now - exposed_comm,
+                        duration_s=exposed_comm, category="sim", lane=0,
+                        parent_id=step_id)
 
     def start_step():
         state["finished"] = 0
@@ -94,6 +126,7 @@ def simulate_training_run(config: TrainingRunConfig) -> TrainingRunResult:
         state["step_start"] = ev.now
         draws = config.compute_time_s * rng.lognormal(
             0.0, config.compute_jitter, size=n)
+        state["draws"] = draws
         for r in range(n):
             ev.schedule(float(draws[r]) + starve, rank_done(draws[r]))
 
@@ -111,10 +144,21 @@ def simulate_training_run(config: TrainingRunConfig) -> TrainingRunResult:
         step_times[s] = ev.now - state["step_start"]
         barrier_waits[s] = state["slowest"] - state["compute_sum"] / n - starve
         input_waits[s] = starve
+        if tracer is not None:
+            if isinstance(tracer.clock, SimulatedClock):
+                tracer.clock.advance_to(tracer.epoch + ev.now)
+            emit_step_spans()
         state["step"] += 1
         if state["step"] < steps:
             start_step()
 
     start_step()
     ev.run()
+    if tel.enabled:
+        m = tel.metrics
+        m.counter("sim.steps").inc(steps)
+        for t in step_times:
+            m.histogram("sim.step_time_s").observe(float(t))
+        for w in barrier_waits:
+            m.histogram("sim.barrier_wait_s").observe(float(w))
     return TrainingRunResult(step_times, samples, barrier_waits, input_waits)

@@ -1,0 +1,65 @@
+"""Unified telemetry: spans, metrics, and whole-run Chrome traces.
+
+The measurement substrate for every layer of the reproduction — the
+trainer's step loop, the input pipeline, the gradient exchange, and the
+event simulators all report into one session (:class:`Telemetry`) that
+exports a single ``chrome://tracing`` timeline, a JSONL structured log,
+and a paper-style (median, central-68%) metrics report.
+
+Typical use::
+
+    from repro.telemetry import Telemetry, activate
+    from repro.telemetry.export import write_chrome_trace, render_metrics_report
+
+    tel = Telemetry()
+    with activate(tel):
+        trainer.train_step(images, labels)      # instrumented internally
+    write_chrome_trace("trace.json", tel.tracer.spans())
+    print(render_metrics_report(tel.metrics))
+
+Telemetry is **off by default**: un-instrumented runs resolve the shared
+disabled session and pay only a no-op context manager per span site.
+"""
+from .clock import SimulatedClock, WallClock
+from .export import (
+    chrome_trace,
+    read_jsonl,
+    render_metrics_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    series_key,
+)
+from .session import DISABLED, Telemetry, activate, get_active, set_active
+from .tracer import NULL_SPAN, Span, Tracer, traced
+
+__all__ = [
+    "Telemetry",
+    "activate",
+    "get_active",
+    "set_active",
+    "DISABLED",
+    "Tracer",
+    "Span",
+    "traced",
+    "NULL_SPAN",
+    "WallClock",
+    "SimulatedClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "series_key",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "render_metrics_report",
+]

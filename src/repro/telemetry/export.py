@@ -1,0 +1,175 @@
+"""Exporters: Chrome-trace JSON, JSONL event log, plain-text metrics report.
+
+The Chrome trace is the whole-run analogue of the Horovod timeline the
+paper's team used to find the control-plane bottleneck: one ``trace.json``
+you open in ``chrome://tracing`` / Perfetto, with one process row per
+component (trainer, io, comm, sim) and one thread row per lane
+(thread / rank).  Comm's reconstructed exchange timeline
+(:mod:`repro.comm.timeline`) merges into the same file through comm's own
+serializer, so there is exactly one place that knows the event format.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+from .tracer import Span
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "render_metrics_report",
+]
+
+# Preferred process-row order in the trace viewer; unknown categories are
+# appended alphabetically after these.
+_CATEGORY_ORDER = ("trainer", "io", "comm", "sim", "app")
+
+
+def _category_pids(spans: list[Span]) -> dict[str, int]:
+    cats = {s.category for s in spans}
+    ordered = [c for c in _CATEGORY_ORDER if c in cats]
+    ordered += sorted(cats - set(ordered))
+    return {c: i + 1 for i, c in enumerate(ordered)}
+
+
+def chrome_trace(spans: list[Span], comm_events=None,
+                 comm_process: str = "comm.exchange") -> dict:
+    """Build the ``chrome://tracing`` document for a set of spans.
+
+    ``comm_events`` (``repro.comm.timeline.TimelineEvent`` lists) are
+    serialized by :func:`repro.comm.timeline.chrome_trace_records` — the
+    single TimelineEvent serializer — into their own process row.
+    """
+    pids = _category_pids(spans)
+    records: list[dict] = []
+    lanes_seen: set[tuple[int, int]] = set()
+    for cat, pid in pids.items():
+        records.append({"name": "process_name", "ph": "M", "pid": pid,
+                        "tid": 0, "args": {"name": cat}})
+    for s in spans:
+        pid = pids[s.category]
+        if (pid, s.lane) not in lanes_seen:
+            lanes_seen.add((pid, s.lane))
+            records.append({"name": "thread_name", "ph": "M", "pid": pid,
+                            "tid": s.lane,
+                            "args": {"name": f"lane-{s.lane}"}})
+        rec = {
+            "name": s.name,
+            "cat": s.category,
+            "ts": s.start_us,
+            "pid": pid,
+            "tid": s.lane,
+            "args": dict(s.args, span_id=s.span_id,
+                         parent_id=s.parent_id),
+        }
+        if s.kind == "instant":
+            rec["ph"] = "i"
+            rec["s"] = "t"
+        else:
+            rec["ph"] = "X"
+            rec["dur"] = max(s.duration_us, 0.01)
+        records.append(rec)
+    if comm_events:
+        from ..comm.timeline import chrome_trace_records
+
+        comm_pid = max(pids.values(), default=0) + 1
+        records.append({"name": "process_name", "ph": "M", "pid": comm_pid,
+                        "tid": 0, "args": {"name": comm_process}})
+        records.extend(chrome_trace_records(comm_events, pid=comm_pid))
+    return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, spans: list[Span], comm_events=None) -> dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the document."""
+    doc = chrome_trace(spans, comm_events=comm_events)
+    Path(path).write_text(json.dumps(doc, indent=1))
+    return doc
+
+
+# -- JSONL structured log ----------------------------------------------------
+
+def write_jsonl(path, spans: list[Span],
+                metrics: MetricsRegistry | dict | None = None) -> int:
+    """Write one JSON object per line: spans, then a metrics snapshot.
+
+    Round-trips through :func:`read_jsonl`.  Returns the line count.
+    """
+    lines = []
+    for s in spans:
+        lines.append(json.dumps({
+            "type": "span", "name": s.name, "category": s.category,
+            "start_us": s.start_us, "duration_us": s.duration_us,
+            "span_id": s.span_id, "parent_id": s.parent_id,
+            "lane": s.lane, "kind": s.kind, "args": s.args,
+        }))
+    if metrics is not None:
+        snap = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+        lines.append(json.dumps({"type": "metrics", "snapshot": snap}))
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def read_jsonl(path) -> tuple[list[Span], dict | None]:
+    """Load a JSONL log back into spans and the metrics snapshot (if any)."""
+    spans: list[Span] = []
+    snapshot: dict | None = None
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        if rec["type"] == "span":
+            spans.append(Span(
+                name=rec["name"], category=rec["category"],
+                start_us=rec["start_us"], duration_us=rec["duration_us"],
+                span_id=rec["span_id"], parent_id=rec["parent_id"],
+                lane=rec["lane"], kind=rec["kind"], args=rec["args"],
+            ))
+        elif rec["type"] == "metrics":
+            snapshot = rec["snapshot"]
+    return spans, snapshot
+
+
+# -- plain-text metrics report ----------------------------------------------
+
+def render_metrics_report(metrics: MetricsRegistry | dict,
+                          title: str = "Telemetry metrics",
+                          extra_lines: list[str] | None = None) -> str:
+    """Human-readable summary of every metric series.
+
+    Histograms print the paper's convention: median with the asymmetric
+    central-68% interval (+p84-median / -median-p16).
+    """
+    snap = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    lines = [title, "=" * len(title), ""]
+    if snap["counters"]:
+        lines.append("counters:")
+        for key in sorted(snap["counters"]):
+            value = snap["counters"][key]
+            text = f"{value:,.0f}" if value == int(value) else f"{value:,.3f}"
+            lines.append(f"  {key:<44s} {text}")
+        lines.append("")
+    if snap["gauges"]:
+        lines.append("gauges (last / min / max):")
+        for key in sorted(snap["gauges"]):
+            g = snap["gauges"][key]
+            lines.append(f"  {key:<44s} {g['value']:.3f} / "
+                         f"{g['min']:.3f} / {g['max']:.3f}")
+        lines.append("")
+    if snap["histograms"]:
+        lines.append("histograms (median +hi/-lo, central 68%):")
+        for key in sorted(snap["histograms"]):
+            h = snap["histograms"][key]
+            if not h["count"]:
+                continue
+            lines.append(
+                f"  {key:<44s} {h['median']:.6g} "
+                f"+{h['p84'] - h['median']:.3g}/-{h['median'] - h['p16']:.3g} "
+                f"(n={h['count']}, mean={h['mean']:.6g}, max={h['max']:.6g})")
+        lines.append("")
+    for line in extra_lines or []:
+        lines.append(line)
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,75 @@
+"""The telemetry session: one tracer + one metrics registry, activatable.
+
+Instrumented code throughout the repo resolves its telemetry at call time:
+
+* an explicit ``telemetry=`` argument wins (tests, embedded use);
+* otherwise the module-level *active* session
+  (:func:`get_active`), installed with :func:`activate`;
+* the default active session is a shared **disabled** singleton, so
+  un-configured code paths pay only a null-context-manager per span.
+
+This is what lets the trainer, input pipeline, all-reduce, and simulators
+write into one coherent timeline without threading a handle through every
+signature.
+"""
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = ["Telemetry", "get_active", "activate", "set_active", "DISABLED"]
+
+
+class Telemetry:
+    """A tracing + metrics session.
+
+    Parameters
+    ----------
+    enabled:
+        False produces a session whose tracer and registry are both no-ops.
+    clock:
+        Passed to the tracer; use a
+        :class:`~repro.telemetry.clock.SimulatedClock` for virtual time.
+    """
+
+    def __init__(self, enabled: bool = True, clock=None):
+        self.enabled = bool(enabled)
+        self.tracer = Tracer(clock=clock, enabled=enabled)
+        self.metrics = MetricsRegistry(enabled=enabled)
+
+    def span(self, name: str, category: str = "app", **args):
+        return self.tracer.span(name, category=category, **args)
+
+    def clear(self) -> None:
+        self.tracer.clear()
+        self.metrics.__init__(enabled=self.enabled)
+
+
+DISABLED = Telemetry(enabled=False)
+
+_active: Telemetry = DISABLED
+
+
+def get_active() -> Telemetry:
+    """The session instrumented code reports to (disabled by default)."""
+    return _active
+
+
+def set_active(telemetry: Telemetry | None) -> Telemetry:
+    """Install ``telemetry`` as the active session; returns the previous one."""
+    global _active
+    previous = _active
+    _active = telemetry if telemetry is not None else DISABLED
+    return previous
+
+
+@contextmanager
+def activate(telemetry: Telemetry):
+    """Scope ``telemetry`` as the active session, restoring on exit."""
+    previous = set_active(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_active(previous)

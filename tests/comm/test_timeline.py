@@ -66,13 +66,23 @@ class TestTimeline:
 
     def test_chrome_trace_is_valid_json(self, exchange):
         names, negotiation, fusion = exchange
-        trace = to_chrome_trace(build_timeline(negotiation, fusion, names))
-        doc = json.loads(trace)
+        doc = to_chrome_trace(build_timeline(negotiation, fusion, names))
+        doc = json.loads(json.dumps(doc))     # must be JSON-serializable
         assert "traceEvents" in doc
         for rec in doc["traceEvents"]:
             assert rec["ph"] == "X"
             assert rec["dur"] > 0
             assert set(rec) >= {"name", "cat", "ts", "pid", "tid"}
+
+    def test_chrome_trace_writes_path_and_returns_dict(self, exchange, tmp_path):
+        names, negotiation, fusion = exchange
+        events = build_timeline(negotiation, fusion, names)
+        out = tmp_path / "comm_trace.json"
+        doc = to_chrome_trace(events, path=out)
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        assert on_disk == doc
+        assert len(doc["traceEvents"]) == len(events)
 
     def test_name_count_mismatch_rejected(self, exchange):
         names, negotiation, fusion = exchange

@@ -42,6 +42,36 @@ class TestBuildOptimizer:
             TrainConfig(precision="fp8")
 
 
+class TestTrainConfigValidation:
+    """Bad optimizer/weighting strings fail at construction, not deep in
+    build_optimizer / loss setup."""
+
+    def test_unknown_optimizer_rejected_at_construction(self):
+        with pytest.raises(ValueError, match=r"unknown optimizer 'lion'"):
+            TrainConfig(optimizer="lion")
+
+    def test_optimizer_error_names_valid_choices(self):
+        with pytest.raises(ValueError, match=r"sgd.*adam.*lars.*larc"):
+            TrainConfig(optimizer="rmsprop")
+
+    def test_unknown_weighting_rejected_at_construction(self):
+        with pytest.raises(ValueError,
+                           match=r"unknown weighting strategy 'focal'"):
+            TrainConfig(weighting="focal")
+
+    def test_weighting_error_names_valid_choices(self):
+        with pytest.raises(ValueError, match=r"none.*inverse.*inverse_sqrt"):
+            TrainConfig(weighting="sqrt")
+
+    @pytest.mark.parametrize("optimizer", ["sgd", "adam", "lars", "larc"])
+    def test_valid_optimizers_accepted(self, optimizer):
+        assert TrainConfig(optimizer=optimizer).optimizer == optimizer
+
+    @pytest.mark.parametrize("weighting", ["none", "inverse", "inverse_sqrt"])
+    def test_valid_weightings_accepted(self, weighting):
+        assert TrainConfig(weighting=weighting).weighting == weighting
+
+
 class TestTraining:
     def test_loss_decreases(self, dataset):
         freqs = class_frequencies(dataset.labels)

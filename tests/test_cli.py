@@ -42,6 +42,26 @@ class TestCli:
         out = capsys.readouterr().out
         assert "validation mean IoU" in out
 
+    def test_trace_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace_out"
+        assert main(["trace", "--samples", "4", "--steps", "2",
+                     "--grid", "16", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "per-step throughput: median" in printed
+        assert "central 68%" in printed
+        doc = json.loads((out / "trace.json").read_text())
+        complete = [r for r in doc["traceEvents"] if r.get("ph") == "X"]
+        span_cats = {r["cat"] for r in complete}
+        # Spans from at least trainer, io, and comm in one trace.
+        assert {"trainer", "io", "comm"} <= span_cats
+        assert all(r["ts"] >= 0 and r["dur"] > 0 for r in complete)
+        metrics = (out / "metrics.txt").read_text()
+        assert "trainer.step_time_s" in metrics
+        assert "per-step throughput: median" in metrics
+        assert (out / "telemetry.jsonl").exists()
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -64,6 +64,12 @@ class TestExamples:
         assert "max abs error" in out
         assert "reduction 5.9x" in out
 
+    def test_trace_training(self):
+        out = run_example("trace_training.py")
+        assert "trace spans:" in out
+        assert "sustained throughput: median" in out
+        assert "last step span tree" in out
+
     def test_cli_report(self):
         proc = subprocess.run(
             [sys.executable, "-m", "repro.cli", "report"],
