@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli control-plane --ranks 4096
     python -m repro.cli train --samples 16 --epochs 4
     python -m repro.cli trace --steps 3 --out trace_out
+    python -m repro.cli faults --ranks 8 --plan "rank_fail@2:rank=1;read_fault@1"
 """
 from __future__ import annotations
 
@@ -247,6 +248,100 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    """Fault-injection drill: train under a seeded FaultPlan, verify recovery.
+
+    Runs the same seeded multi-rank training twice — once fault-free, once
+    under ``--plan`` — through the resilience runner (elastic world shrink,
+    read retries, checkpoint autoresume).  The faulty run must complete
+    every step and its final model's loss on a fixed evaluation set must
+    match the fault-free run within ``--tolerance``.  Writes a Chrome
+    trace whose ``resilience`` lane shows each injected fault and its
+    recovery span.  Exit code 1 when recovery fails the tolerance.
+    """
+    from pathlib import Path
+
+    import numpy as np
+
+    from .climate import ClimateDataset, Grid, class_frequencies
+    from .core import TrainConfig
+    from .core.networks import Tiramisu, TiramisuConfig
+    from .perf import format_table
+    from .resilience import (FaultPlan, mean_eval_loss,
+                             run_resilient_training)
+    from .telemetry import (Telemetry, activate, render_metrics_report,
+                            write_chrome_trace)
+
+    if args.steps < 1 or args.ranks < 1 or args.samples < 1:
+        raise SystemExit("faults: --steps, --ranks, and --samples must be >= 1")
+    plan = FaultPlan.parse(args.plan, seed=args.seed)
+    grid = Grid(args.grid, args.grid * 3 // 2)
+    dataset = ClimateDataset.synthesize(grid, num_samples=args.samples,
+                                        seed=args.seed, channels=4)
+    freqs = class_frequencies(dataset.labels)
+
+    def factory():
+        return Tiramisu(
+            TiramisuConfig(in_channels=4, base_filters=8, growth=8,
+                           down_layers=(2,), bottleneck_layers=2,
+                           kernel=3, dropout=0.0),
+            rng=np.random.default_rng(args.seed))
+
+    def provider(step, rank, world_size):
+        idx = (step * world_size + rank) % len(dataset)
+        return dataset.images[idx:idx + 1], dataset.labels[idx:idx + 1]
+
+    eval_idx = list(dataset.splits.validation) + list(dataset.splits.train)
+    eval_batches = [(dataset.images[i:i + 1], dataset.labels[i:i + 1])
+                    for i in eval_idx[:8]]
+    config = TrainConfig(lr=args.lr, optimizer="larc")
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    baseline = run_resilient_training(
+        factory, config, args.ranks, provider, steps=args.steps,
+        class_frequencies=freqs)
+    base_loss = mean_eval_loss(baseline.trainer, eval_batches)
+
+    tel = Telemetry()
+    with activate(tel):
+        faulty = run_resilient_training(
+            factory, config, args.ranks, provider, steps=args.steps,
+            plan=plan, class_frequencies=freqs,
+            checkpoint_dir=out / "ckpts", checkpoint_every=args.ckpt_every,
+            lr_scaling=args.lr_scaling)
+        faulty_loss = mean_eval_loss(faulty.trainer, eval_batches)
+    trace_path = out / "trace.json"
+    write_chrome_trace(trace_path, tel.tracer.spans())
+    (out / "metrics.txt").write_text(render_metrics_report(
+        tel.metrics, title="repro faults metrics"))
+
+    rel = (abs(faulty_loss - base_loss) / abs(base_loss)
+           if base_loss else float("inf"))
+    completed = faulty.steps_completed == args.steps
+    recovered = completed and rel <= args.tolerance
+    injected = ", ".join(f"{k}={v}" for k, v in sorted(faulty.injected.items()))
+    rows = [
+        ["plan", plan.describe() or "(empty)"],
+        ["injected", injected or "(none)"],
+        ["steps completed", f"{faulty.steps_completed}/{args.steps}"],
+        ["world size", f"{faulty.start_world_size} -> {faulty.final_world_size}"],
+        ["rank failures", str(faulty.rank_failures or "none")],
+        ["elastic recoveries", str(faulty.recoveries)],
+        ["read retries", str(faulty.read_retries)],
+        ["step retries", str(faulty.step_retries)],
+        ["checkpoints saved", str(faulty.checkpoints_saved)],
+        ["eval loss (fault-free)", f"{base_loss:.4f}"],
+        ["eval loss (faulty)", f"{faulty_loss:.4f}"],
+        ["relative difference", f"{rel * 100:.2f}% (tolerance {args.tolerance * 100:.0f}%)"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"Fault drill - {args.ranks} ranks, seed {args.seed}"))
+    print(f"wrote {trace_path} and {out / 'metrics.txt'}")
+    print("recovery OK" if recovered else "recovery FAILED")
+    return 0 if recovered else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate experiments from the paper")
@@ -299,6 +394,28 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=0)
     pr.add_argument("--out", default="trace_out")
     pr.set_defaults(fn=_cmd_trace)
+
+    pf = sub.add_parser(
+        "faults",
+        help="fault-injection drill: recover from a seeded FaultPlan")
+    pf.add_argument("--plan",
+                    default="rank_fail@2:rank=1;read_fault@1;read_fault@4",
+                    help="fault schedule, e.g. 'rank_fail@2:rank=1;"
+                         "read_fault@1;drop_msg@3:count=2'")
+    pf.add_argument("--ranks", type=int, default=8)
+    pf.add_argument("--steps", type=int, default=6)
+    pf.add_argument("--samples", type=int, default=16)
+    pf.add_argument("--grid", type=int, default=16)
+    pf.add_argument("--lr", type=float, default=0.01)
+    pf.add_argument("--lr-scaling", default="linear",
+                    choices=["linear", "sqrt", "none"],
+                    help="LR rescale rule after an elastic shrink")
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--ckpt-every", type=int, default=2)
+    pf.add_argument("--tolerance", type=float, default=0.05,
+                    help="max relative final-loss difference vs fault-free")
+    pf.add_argument("--out", default="faults_out")
+    pf.set_defaults(fn=_cmd_faults)
     return parser
 
 

@@ -11,6 +11,16 @@ The API mirrors mpi4py closely enough to be familiar: ``send``/``recv`` with
 (source, tag) matching, plus convenience collectives.  Payloads are NumPy
 arrays or picklable Python objects; arrays are copied on send so ranks
 cannot alias each other's buffers (MPI semantics).
+
+Fault model (:mod:`repro.resilience`): a ``World`` built with a
+``fault_injector`` consults it on every send — injected *drops* surface at
+the receiver as :class:`repro.errors.MessageDropped` (so protocols observe
+loss as an exception instead of a silent deadlock and can re-send via
+:meth:`World.recv_reliable`); injected *duplicates* model transport-level
+retransmission and are deduplicated on receive, visible only in
+``TrafficStats``.  :meth:`World.fail_rank` kills a rank: any further
+traffic touching it raises :class:`repro.errors.RankFailure`, which the
+elastic-recovery path catches to rebuild a smaller world.
 """
 from __future__ import annotations
 
@@ -18,6 +28,8 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..errors import DeadlockError, MessageDropped, RankError, RankFailure
 
 __all__ = ["World", "TrafficStats"]
 
@@ -29,6 +41,8 @@ class TrafficStats:
     sent_messages: defaultdict = field(default_factory=lambda: defaultdict(int))
     recv_messages: defaultdict = field(default_factory=lambda: defaultdict(int))
     sent_bytes: defaultdict = field(default_factory=lambda: defaultdict(int))
+    dropped_messages: defaultdict = field(default_factory=lambda: defaultdict(int))
+    duplicated_messages: defaultdict = field(default_factory=lambda: defaultdict(int))
 
     @property
     def total_messages(self) -> int:
@@ -43,10 +57,20 @@ class TrafficStats:
                   for r in set(self.sent_messages) | set(self.recv_messages)]
         return max(counts, default=0)
 
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped_messages.values())
+
+    @property
+    def total_duplicated(self) -> int:
+        return sum(self.duplicated_messages.values())
+
     def reset(self) -> None:
         self.sent_messages.clear()
         self.recv_messages.clear()
         self.sent_bytes.clear()
+        self.dropped_messages.clear()
+        self.duplicated_messages.clear()
 
 
 def _payload_bytes(payload) -> int:
@@ -58,15 +82,61 @@ def _payload_bytes(payload) -> int:
     return 64
 
 
-class World:
-    """A simulated MPI communicator of ``size`` ranks."""
+class _DropMarker:
+    """Takes a dropped message's place so the receiver observes the loss."""
 
-    def __init__(self, size: int):
+    __slots__ = ("src", "dst", "tag")
+
+    def __init__(self, src: int, dst: int, tag: int):
+        self.src, self.dst, self.tag = src, dst, tag
+
+
+class _DupMarker:
+    """A transport-level retransmission; deduplicated on receive."""
+
+    __slots__ = ()
+
+
+_DUP = _DupMarker()
+
+
+class World:
+    """A simulated MPI communicator of ``size`` ranks.
+
+    ``fault_injector`` (a :class:`repro.resilience.FaultInjector`, or any
+    object with a ``message_action(src, dst, tag)`` method) is consulted on
+    every send; ranks killed with :meth:`fail_rank` poison all their
+    channels.
+    """
+
+    def __init__(self, size: int, fault_injector=None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = int(size)
         self._queues: dict[tuple[int, int, int], deque] = defaultdict(deque)
         self.stats = TrafficStats()
+        self.fault_injector = fault_injector
+        self._failed: set[int] = set()
+
+    # -- failure state -------------------------------------------------------
+
+    def fail_rank(self, rank: int) -> None:
+        """Kill ``rank``: all further traffic touching it raises RankFailure."""
+        self._check_rank(rank)
+        self._failed.add(int(rank))
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    def alive_ranks(self) -> list[int]:
+        return [r for r in range(self.size) if r not in self._failed]
+
+    def drain(self) -> int:
+        """Discard every pending message (step-retry cleanup); returns count."""
+        n = sum(len(q) for q in self._queues.values())
+        self._queues.clear()
+        return n
 
     # -- point to point ------------------------------------------------------
 
@@ -74,34 +144,81 @@ class World:
         """Enqueue a message from ``src`` to ``dst``."""
         self._check_rank(src)
         self._check_rank(dst)
+        self._check_alive(src)
+        self._check_alive(dst)
+        action = "deliver"
+        if self.fault_injector is not None:
+            action = self.fault_injector.message_action(src, dst, tag)
         if isinstance(payload, np.ndarray):
             payload = payload.copy()
-        self._queues[(src, dst, tag)].append(payload)
+        q = self._queues[(src, dst, tag)]
+        if action == "drop":
+            q.append(_DropMarker(src, dst, tag))
+            self.stats.dropped_messages[src] += 1
+        else:
+            q.append(payload)
+            if action == "duplicate":
+                q.append(_DUP)
+                self.stats.duplicated_messages[src] += 1
         self.stats.sent_messages[src] += 1
         self.stats.sent_bytes[src] += _payload_bytes(payload)
 
     def recv(self, dst: int, src: int, tag: int = 0):
         """Dequeue the next message from ``src`` to ``dst``.
 
-        Raises ``LookupError`` if no matching message is pending — in a
-        functional simulation that indicates a protocol bug (deadlock).
+        Raises :class:`~repro.errors.DeadlockError` (a ``LookupError``) if
+        no matching message is pending — in a functional simulation that
+        indicates a protocol bug — and
+        :class:`~repro.errors.MessageDropped` when an injected drop
+        consumed the message in flight.
         """
         self._check_rank(src)
         self._check_rank(dst)
+        self._check_alive(src)
+        self._check_alive(dst)
         q = self._queues[(src, dst, tag)]
+        while q and isinstance(q[0], _DupMarker):
+            q.popleft()                     # transport dedups retransmissions
         if not q:
-            raise LookupError(
+            raise DeadlockError(
                 f"deadlock: rank {dst} waiting on message from {src} tag {tag}"
             )
+        head = q.popleft()
+        if isinstance(head, _DropMarker):
+            raise MessageDropped(src, dst, tag)
         self.stats.recv_messages[dst] += 1
-        return q.popleft()
+        return head
+
+    def recv_reliable(self, dst: int, src: int, tag: int = 0, *,
+                      resend=None, max_resends: int = 3):
+        """``recv`` that survives injected drops by re-sending.
+
+        ``resend`` is a zero-argument callable returning the payload to
+        retransmit (the protocol layer knows what it sent); each
+        :class:`~repro.errors.MessageDropped` triggers one retransmission,
+        up to ``max_resends``.
+        """
+        attempts = 0
+        while True:
+            try:
+                return self.recv(dst, src, tag)
+            except MessageDropped:
+                if resend is None or attempts >= max_resends:
+                    raise
+                attempts += 1
+                self.send(resend(), src, dst, tag)
 
     def pending(self, dst: int, src: int, tag: int = 0) -> int:
-        return len(self._queues[(src, dst, tag)])
+        q = self._queues[(src, dst, tag)]
+        return sum(1 for m in q if not isinstance(m, (_DropMarker, _DupMarker)))
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
-            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+            raise RankError(f"rank {rank} out of range [0, {self.size})")
+
+    def _check_alive(self, rank: int) -> None:
+        if rank in self._failed:
+            raise RankFailure(rank)
 
     # -- simple collectives (reference implementations) -----------------------
 

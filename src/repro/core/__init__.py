@@ -1,6 +1,6 @@
 """The paper's contribution layer: networks, training algorithms, metrics."""
 from . import losses, metrics, networks, optim
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import CheckpointManager, load_checkpoint, save_checkpoint
 from .convergence import ConvergenceCurve, loss_trajectory_summary, wall_clock_curve
 from .distributed import DistributedStepResult, DistributedTrainer
 from .inference import predict_tiled, sliding_window_logits, tile_positions
@@ -38,6 +38,7 @@ from .trainer import StepResult, TrainConfig, Trainer, build_optimizer
 
 __all__ = [
     "Tiramisu",
+    "CheckpointManager",
     "save_checkpoint",
     "load_checkpoint",
     "SpatialPartition",

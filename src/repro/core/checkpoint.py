@@ -5,18 +5,26 @@ with restartable state; this module serializes everything a
 :class:`repro.core.trainer.Trainer` needs to resume bit-exactly — parameter
 masters, batch-norm running statistics, momentum/Adam moments, the gradient
 lag delay line, and the dynamic loss scale — into a single ``.npz`` file.
+
+:class:`CheckpointManager` is the API: it owns a checkpoint directory,
+names files by step, finds the latest restart point, and rotates old
+files — the autoresume primitive :mod:`repro.resilience` builds on.  The
+original free functions (:func:`save_checkpoint` / :func:`load_checkpoint`)
+remain as thin deprecated wrappers over a single-file manager.
 """
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
+from ..errors import CheckpointConfigMismatch, CheckpointError, CheckpointFormatError
 from .optim import GradientLag
 from .trainer import Trainer
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["CheckpointManager", "save_checkpoint", "load_checkpoint"]
 
 _FORMAT_VERSION = 1
 
@@ -47,7 +55,8 @@ def _optimizer_state(optimizer) -> tuple[dict[str, np.ndarray], dict]:
     return arrays, meta
 
 
-def save_checkpoint(trainer: Trainer, path: str | Path) -> Path:
+def _write_checkpoint(trainer: Trainer, path: Path,
+                      extra_meta: dict | None = None) -> Path:
     """Serialize a trainer to ``path`` (``.npz`` appended if missing)."""
     path = Path(path)
     if path.suffix != ".npz":
@@ -69,6 +78,8 @@ def save_checkpoint(trainer: Trainer, path: str | Path) -> Path:
             "gradient_lag": trainer.config.gradient_lag,
         },
     }
+    if extra_meta:
+        meta["extra"] = extra_meta
     if trainer.scaler is not None:
         meta["scaler"] = {
             "scale": trainer.scaler.scale,
@@ -80,21 +91,22 @@ def save_checkpoint(trainer: Trainer, path: str | Path) -> Path:
     return path
 
 
-def load_checkpoint(trainer: Trainer, path: str | Path) -> dict:
-    """Restore a trainer in place; returns the checkpoint metadata.
-
-    The trainer must be constructed with the same architecture and
-    configuration as the one that was saved.
-    """
+def _read_checkpoint(trainer: Trainer, path: Path,
+                     strict_config: bool = True) -> dict:
+    """Restore a trainer in place; returns the checkpoint metadata."""
     path = Path(path)
     with np.load(path) as data:
         meta = json.loads(bytes(data["__meta__"].tobytes()).decode())
         if meta["version"] != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {meta['version']}")
+            raise CheckpointFormatError(
+                f"unsupported checkpoint version {meta['version']}")
         saved_cfg = meta["config"]
+        skip_keys = set() if strict_config else {"lr"}
         for key, value in saved_cfg.items():
+            if key in skip_keys:
+                continue
             if getattr(trainer.config, key) != value:
-                raise ValueError(
+                raise CheckpointConfigMismatch(
                     f"checkpoint config mismatch at {key!r}: saved {value}, "
                     f"trainer has {getattr(trainer.config, key)}"
                 )
@@ -125,3 +137,110 @@ def load_checkpoint(trainer: Trainer, path: str | Path) -> dict:
             trainer.scaler._good_steps = meta["scaler"]["good_steps"]
             trainer.scaler.num_overflows = meta["scaler"]["num_overflows"]
     return meta
+
+
+class CheckpointManager:
+    """Owns a directory of step-named checkpoints with rotation.
+
+    Files are ``<prefix>-<step:08d>.npz`` inside ``directory``; ``latest``
+    resolves the newest restart point by step number (not mtime, so a
+    restored/copied directory still resumes correctly), and
+    ``rotate(keep_last=N)`` bounds disk use on long runs.  The resilience
+    runner's autoresume path is built on exactly these four verbs.
+    """
+
+    def __init__(self, directory: str | Path, keep_last: int | None = None,
+                 prefix: str = "ckpt"):
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+        self.prefix = prefix
+
+    # -- naming ------------------------------------------------------------
+
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{int(step):08d}.npz"
+
+    def _step_of(self, path: Path) -> int:
+        stem = path.stem
+        try:
+            return int(stem.rsplit("-", 1)[1])
+        except (IndexError, ValueError) as exc:
+            raise CheckpointFormatError(
+                f"not a managed checkpoint name: {path.name}") from exc
+
+    def checkpoints(self) -> list[Path]:
+        """Managed checkpoint files, oldest first."""
+        paths = self.directory.glob(f"{self.prefix}-*.npz")
+        return sorted(paths, key=self._step_of)
+
+    def latest(self) -> Path | None:
+        """Newest checkpoint by step number, or ``None`` when empty."""
+        found = self.checkpoints()
+        return found[-1] if found else None
+
+    # -- verbs -------------------------------------------------------------
+
+    def save(self, trainer: Trainer, step: int | None = None,
+             extra_meta: dict | None = None) -> Path:
+        """Write one checkpoint (step defaults to the trainer's history
+        length) and apply the rotation policy."""
+        step = len(trainer.history) if step is None else int(step)
+        extra = dict(extra_meta or {})
+        extra["step"] = step
+        path = _write_checkpoint(trainer, self.path_for(step), extra_meta=extra)
+        if self.keep_last is not None:
+            self.rotate(self.keep_last)
+        return path
+
+    def load(self, trainer: Trainer, path: str | Path | None = None,
+             strict_config: bool = True) -> dict:
+        """Restore ``trainer`` from ``path`` (default: latest); returns
+        the checkpoint metadata."""
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise CheckpointError(
+                    f"no checkpoints under {self.directory}")
+        return _read_checkpoint(trainer, Path(path),
+                                strict_config=strict_config)
+
+    def rotate(self, keep_last: int | None = None) -> list[Path]:
+        """Delete all but the newest ``keep_last`` files; returns removals."""
+        keep = self.keep_last if keep_last is None else int(keep_last)
+        if keep is None:
+            return []
+        if keep < 1:
+            raise ValueError("keep_last must be >= 1")
+        found = self.checkpoints()
+        removed = found[:-keep] if len(found) > keep else []
+        for path in removed:
+            path.unlink()
+        return removed
+
+
+# -- deprecated free-function API ------------------------------------------
+
+def save_checkpoint(trainer: Trainer, path: str | Path) -> Path:
+    """Deprecated: use :meth:`CheckpointManager.save`.
+
+    Serializes a trainer to one explicit ``path`` (``.npz`` appended if
+    missing), exactly as before the manager API landed.
+    """
+    warnings.warn("save_checkpoint is deprecated; use CheckpointManager.save",
+                  DeprecationWarning, stacklevel=2)
+    return _write_checkpoint(trainer, Path(path))
+
+
+def load_checkpoint(trainer: Trainer, path: str | Path) -> dict:
+    """Deprecated: use :meth:`CheckpointManager.load`.
+
+    Restores a trainer in place from one explicit ``path``; returns the
+    checkpoint metadata.  The trainer must be constructed with the same
+    architecture and configuration as the one that was saved.
+    """
+    warnings.warn("load_checkpoint is deprecated; use CheckpointManager.load",
+                  DeprecationWarning, stacklevel=2)
+    return _read_checkpoint(trainer, Path(path))

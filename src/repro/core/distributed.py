@@ -57,10 +57,11 @@ class DistributedTrainer:
         class_frequencies: np.ndarray | None = None,
         horovod: HorovodConfig | None = None,
         compression_ratio: float | None = None,
+        fault_injector=None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
-        self.world = World(world_size)
+        self.world = World(world_size, fault_injector=fault_injector)
         self.config = config
         self.horovod = horovod or HorovodConfig(
             algorithm="ring", control_plane="hierarchical",
@@ -200,6 +201,63 @@ class DistributedTrainer:
             data_bytes=self.world.stats.total_bytes,
         )
         return averaged, report
+
+    # -- elastic degradation ---------------------------------------------------
+
+    def shrink(self, failed_ranks, lr_scaling: str = "linear") -> dict:
+        """Rebuild around the survivors of ``failed_ranks``.
+
+        The elastic-recovery step of :mod:`repro.resilience`: drop the dead
+        replicas, stand up a fresh (smaller) :class:`World` on the same
+        fault injector, clear any half-exchanged gradients, re-broadcast
+        rank 0's state so every survivor restarts bit-identical (what
+        Horovod does with rank 0's variables after a restart), and rescale
+        the learning rate to the surviving concurrency — ``"linear"``
+        (Goyal et al.) or ``"sqrt"``, the two rules in
+        :mod:`repro.core.optim.schedules`, or ``"none"``.
+
+        Returns a summary dict (old/new size, LR factor).  Subsequent
+        :meth:`train_epoch` calls re-shard over the new world size.
+        """
+        failed = {int(r) for r in failed_ranks}
+        old_size = self.world.size
+        survivors = [r for r in range(old_size) if r not in failed]
+        if not survivors:
+            raise ValueError("cannot shrink to zero survivors")
+        if failed - set(range(old_size)):
+            raise ValueError(f"failed ranks {sorted(failed)} out of range "
+                             f"[0, {old_size})")
+        tel = get_active()
+        injector = self.world.fault_injector
+        self.trainers = [self.trainers[r] for r in survivors]
+        if self._compressors is not None:
+            self._compressors = [self._compressors[r] for r in survivors]
+        self.world = World(len(survivors), fault_injector=injector)
+        # A failure mid-exchange leaves fresh local gradients that were
+        # never averaged; discard them so the retried step starts clean.
+        for t in self.trainers:
+            for p in t.model.parameters():
+                p.grad = None
+        # Restore the replica-consistency invariant from rank 0.
+        ref = {k: v.copy() for k, v in self.trainers[0].model.state_dict().items()}
+        for t in self.trainers[1:]:
+            t.model.load_state_dict(ref)
+        if lr_scaling == "linear":
+            factor = len(survivors) / old_size
+        elif lr_scaling == "sqrt":
+            factor = float(np.sqrt(len(survivors) / old_size))
+        elif lr_scaling == "none":
+            factor = 1.0
+        else:
+            raise ValueError(f"unknown lr_scaling {lr_scaling!r}; "
+                             "expected linear | sqrt | none")
+        for t in self.trainers:
+            t.optimizer.set_lr(t.optimizer.lr * factor)
+        if tel.enabled:
+            tel.metrics.counter("resilience.rank_failures").inc(len(failed))
+            tel.metrics.gauge("dist.world_size").set(len(survivors))
+        return {"old_size": old_size, "new_size": len(survivors),
+                "failed_ranks": sorted(failed), "lr_factor": factor}
 
     # -- invariants ------------------------------------------------------------
 

@@ -3,6 +3,11 @@
 Used by the input-pipeline and staging simulators to model producer/consumer
 queues and bandwidth contention over time.  Deterministic: ties in event time
 break by insertion order.
+
+Fault injection (:mod:`repro.resilience`): an optional ``fault_injector``
+with a ``perturb_delay(delay, rank=None)`` hook stretches scheduled delays,
+so straggler faults show up in simulated timelines exactly where a slow
+node would put them.
 """
 from __future__ import annotations
 
@@ -16,16 +21,22 @@ __all__ = ["EventQueue"]
 class EventQueue:
     """Priority queue of timed callbacks."""
 
-    def __init__(self):
+    def __init__(self, fault_injector=None):
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self.now = 0.0
         self._processed = 0
+        self.fault_injector = fault_injector
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at ``now + delay``."""
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 rank: int | None = None) -> None:
+        """Run ``callback`` at ``now + delay`` (perturbed for stragglers)."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
+        if self.fault_injector is not None:
+            delay = self.fault_injector.perturb_delay(delay, rank=rank)
+            if delay < 0:
+                raise ValueError(f"fault injector produced negative delay {delay}")
         heapq.heappush(self._heap, (self.now + delay, next(self._counter), callback))
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:

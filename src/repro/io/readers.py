@@ -52,6 +52,7 @@ class ReadResult:
     samples: int
     wall_time_s: float
     gate_wait_s: float
+    faults_retried: int = 0
 
     @property
     def samples_per_second(self) -> float:
@@ -65,15 +66,23 @@ class ThreadedReader:
     serialization gate (the HDF5-library regime: threads serialize).
     ``shared_gate=False`` gives each worker its own gate, modelling the
     paper's multiprocessing fix (each process has its own HDF5 library).
+
+    ``fault_injector`` (:class:`repro.resilience.FaultInjector`) makes the
+    read path lossy on purpose; injected read faults are retried under
+    ``retry`` (a :class:`repro.resilience.RetryPolicy`) and counted in the
+    returned :class:`ReadResult`, so a slow or corrupted reader degrades a
+    batch instead of killing it.
     """
 
     def __init__(self, store: SampleFileStore, num_workers: int = 4,
-                 shared_gate: bool = True):
+                 shared_gate: bool = True, fault_injector=None, retry=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.store = store
         self.num_workers = num_workers
         self.shared_gate = shared_gate
+        self.fault_injector = fault_injector
+        self.retry = retry
         if shared_gate:
             self._gates = [GATE] * num_workers
         else:
@@ -83,16 +92,29 @@ class ThreadedReader:
         """Read samples concurrently; returns (list of samples, ReadResult)."""
         import time
 
-        for g in set(id(g) for g in self._gates):
-            pass  # gates reset below via the unique set
+        from ..resilience.retry import RetryPolicy, RetryState, with_retries
+
         unique_gates = {id(g): g for g in self._gates}.values()
         for g in unique_gates:
             g.reset()
         t0 = time.perf_counter()
         results = [None] * len(indices)
+        policy = self.retry or RetryPolicy()
+        retry_state = RetryState()
+
+        def read_one(index: int, worker: int):
+            if self.fault_injector is not None:
+                self.fault_injector.check_read(f"sample-{index}")
+            return self.store.read_sample(index, gate=self._gates[worker])
 
         def work(slot: int, index: int, worker: int):
-            results[slot] = self.store.read_sample(index, gate=self._gates[worker])
+            if self.fault_injector is None:
+                results[slot] = read_one(index, worker)
+            else:
+                results[slot] = with_retries(
+                    lambda: read_one(index, worker), policy,
+                    retry_on=(OSError,), label=f"read:sample-{index}",
+                    state=retry_state)
 
         with concurrent.futures.ThreadPoolExecutor(max_workers=self.num_workers) as pool:
             futures = [
@@ -103,4 +125,6 @@ class ThreadedReader:
                 f.result()
         wall = time.perf_counter() - t0
         wait = sum(g.stats["wait_time_s"] for g in unique_gates)
-        return results, ReadResult(samples=len(indices), wall_time_s=wall, gate_wait_s=wait)
+        return results, ReadResult(samples=len(indices), wall_time_s=wall,
+                                   gate_wait_s=wait,
+                                   faults_retried=retry_state.retries)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..comm.simmpi import World
+from ..errors import StagingConfigError, StagingReadError
 from ..hpc.filesystem import SharedFileSystem
 from ..hpc.network import FabricModel
 from ..hpc.specs import SystemSpec
@@ -63,9 +64,9 @@ def plan_staging(
 ) -> StagingReport:
     """Analytic staging-time estimate on a given machine."""
     if strategy not in ("naive", "distributed"):
-        raise ValueError(f"unknown staging strategy {strategy!r}")
+        raise StagingConfigError(f"unknown staging strategy {strategy!r}")
     if nodes < 1 or nodes > system.nodes:
-        raise ValueError(f"nodes {nodes} out of range for {system.name}")
+        raise StagingConfigError(f"nodes {nodes} out of range for {system.name}")
     fs = SharedFileSystem(system.filesystem)
     node = system.node
     per_node_bw = scaled_read_bandwidth(
@@ -115,7 +116,7 @@ def plan_staging(
 def assign_disjoint_pieces(num_files: int, ranks: int) -> list[np.ndarray]:
     """Partition file indices into near-equal disjoint per-rank pieces."""
     if ranks < 1:
-        raise ValueError("ranks must be >= 1")
+        raise StagingConfigError("ranks must be >= 1")
     return [np.arange(num_files)[r::ranks] for r in range(ranks)]
 
 
@@ -159,10 +160,14 @@ def stage_distributed(
                     world.send(np.int64(f), r, o, tag=100)
                     requests[o].append((r, int(f)))
     # Delivery phase: owners answer every request with the file payload.
+    # recv_reliable re-sends on injected drops, so a lossy wire still
+    # converges to the exact staged sets.
     with tracer.span("stage_deliver", category="io", ranks=n):
         for o in range(n):
             for requester, f in requests[o]:
-                _ = world.recv(o, requester, tag=100)
+                _ = world.recv_reliable(
+                    o, requester, tag=100,
+                    resend=lambda f=f: np.int64(f))
                 world.send(np.int64(f), o, requester, tag=101)
         staged = []
         for r in range(n):
@@ -170,7 +175,8 @@ def stage_distributed(
             for f in wanted[r]:
                 o = int(owner[f])
                 if o != r:
-                    got = int(world.recv(r, o, tag=101))
+                    got = int(world.recv_reliable(
+                        r, o, tag=101, resend=lambda f=f: np.int64(f)))
                     have.add(got)
             staged.append(np.sort(np.array(sorted(have), dtype=np.int64)))
     if tel.enabled:
@@ -193,6 +199,8 @@ def stage_files_to_disk(
     dest_root,
     files_per_rank: int,
     seed: int = 0,
+    fault_injector=None,
+    retry=None,
 ) -> tuple[list, dict]:
     """Execute distributed staging with *real files* on disk.
 
@@ -205,14 +213,23 @@ def stage_files_to_disk(
     Returns the per-rank staged paths and an accounting dict including the
     bytes that crossed the fabric (vs. what the naive strategy would have
     pulled from the file system).
+
+    The read path is hardened: a file that fails to read (for real, or via
+    ``fault_injector``) is retried under ``retry`` (a
+    :class:`repro.resilience.RetryPolicy`; a default policy when ``None``)
+    and, once retries are exhausted, surfaces as
+    :class:`repro.errors.StagingReadError` naming the offending path —
+    never a raw ``OSError`` out of the staging worker.
     """
     from pathlib import Path
+
+    from ..resilience.retry import RetryPolicy, RetriesExhausted, with_retries
 
     source_dir = Path(source_dir)
     dest_root = Path(dest_root)
     files = sorted(source_dir.glob("data-*.npz"))
     if not files:
-        raise ValueError(f"no data files in {source_dir}")
+        raise StagingConfigError(f"no data files in {source_dir}")
     num_files = len(files)
     rng = np.random.default_rng(seed)
     n = world.size
@@ -224,13 +241,31 @@ def stage_files_to_disk(
         owner[piece] = r
     tel = get_active()
     tracer = tel.tracer
-    # Each owner reads its piece from the "file system" once.
+    # Each owner reads its piece from the "file system" once.  Reads go
+    # through the retry harness; a file that stays unreadable is reported
+    # as a StagingError carrying its path, not a raw OSError.
+    policy = retry or RetryPolicy()
+
+    def _read_one(path):
+        def attempt():
+            if fault_injector is not None:
+                fault_injector.check_read(path)
+            return path.read_bytes()
+
+        try:
+            return with_retries(attempt, policy, retry_on=(OSError,),
+                                label=f"stage_read:{path.name}")
+        except RetriesExhausted as exc:
+            raise StagingReadError(
+                f"staged file read failed for {path}: {exc.last}",
+                path=path) from exc.last
+
     cache: dict[int, bytes] = {}
     fs_bytes = 0
     with tracer.span("stage_fs_read", category="io", ranks=n):
         for r, piece in enumerate(pieces):
             for f in piece:
-                payload = files[int(f)].read_bytes()
+                payload = _read_one(files[int(f)])
                 cache[int(f)] = payload
                 fs_bytes += len(payload)
     # Requests, then content delivery over the fabric.
@@ -246,7 +281,8 @@ def stage_files_to_disk(
     with tracer.span("stage_deliver", category="io", ranks=n):
         for o in range(n):
             for requester, f in requests[o]:
-                _ = world.recv(o, requester, tag=200)
+                _ = world.recv_reliable(o, requester, tag=200,
+                                        resend=lambda f=f: np.int64(f))
                 payload = np.frombuffer(cache[f], dtype=np.uint8)
                 fabric_bytes += payload.nbytes
                 world.send(payload, o, requester, tag=201)
@@ -261,7 +297,11 @@ def stage_files_to_disk(
                 if o == r:
                     data = cache[int(f)]
                 else:
-                    data = world.recv(r, o, tag=201).tobytes()
+                    payload = world.recv_reliable(
+                        r, o, tag=201,
+                        resend=lambda f=f: np.frombuffer(cache[f],
+                                                         dtype=np.uint8))
+                    data = payload.tobytes()
                 path = rank_dir / files[int(f)].name
                 path.write_bytes(data)
                 paths.append(path)

@@ -1,0 +1,40 @@
+"""Fault injection and elastic recovery for the simulated exascale run.
+
+The paper's headline training occupies all of Summit for hours — at that
+scale node deaths, slow readers, and lost messages are routine, and the
+run survives on distributed staging plus checkpoint/restart.  This
+package makes that failure model explicit and testable:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a seeded, declarative fault
+  schedule (rank failures, read faults, stragglers, message drop/dup);
+* :class:`FaultInjector` — the runtime hook object consulted by
+  :class:`repro.comm.simmpi.World`, the :mod:`repro.io` read paths, and
+  :class:`repro.hpc.events.EventQueue`;
+* :class:`RetryPolicy` / :func:`with_retries` — retry-with-backoff
+  hardening for the staging/read path;
+* :func:`run_resilient_training` — drives a
+  :class:`repro.core.DistributedTrainer` through a plan with elastic
+  degradation (world shrink + re-shard + LR rescale) and
+  checkpoint-autoresume via :class:`repro.core.CheckpointManager`.
+
+Exceptions all derive from :mod:`repro.errors`; injected ones subclass
+:class:`repro.errors.FaultInjected` so recovery code can distinguish a
+planned fault from a genuine bug.
+"""
+from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from .retry import RetriesExhausted, RetryPolicy, RetryState, with_retries
+from .runner import ResilienceReport, mean_eval_loss, run_resilient_training
+
+__all__ = [
+    "mean_eval_loss",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "RetryState",
+    "RetriesExhausted",
+    "with_retries",
+    "ResilienceReport",
+    "run_resilient_training",
+]

@@ -26,7 +26,7 @@ __all__ = [
 
 # Preferred process-row order in the trace viewer; unknown categories are
 # appended alphabetically after these.
-_CATEGORY_ORDER = ("trainer", "io", "comm", "sim", "app")
+_CATEGORY_ORDER = ("trainer", "io", "comm", "resilience", "sim", "app")
 
 
 def _category_pids(spans: list[Span]) -> dict[str, int]:

@@ -3,8 +3,10 @@ import numpy as np
 import pytest
 
 from repro.climate import ClimateDataset, Grid, class_frequencies
-from repro.core import TrainConfig, Trainer, load_checkpoint, save_checkpoint
+from repro.core import (CheckpointManager, TrainConfig, Trainer,
+                        load_checkpoint, save_checkpoint)
 from repro.core.networks import Tiramisu, TiramisuConfig
+from repro.errors import CheckpointError
 
 GRID = Grid(16, 24)
 
@@ -129,3 +131,85 @@ class TestRoundtrip:
         meta = load_checkpoint(b, path)
         assert meta["history_len"] == 1
         assert meta["config"]["optimizer"] == "larc"
+
+
+class TestCheckpointManager:
+    def test_save_load_roundtrip(self, dataset, tmp_path):
+        freqs = class_frequencies(dataset.labels)
+        ref = make_trainer(freqs=freqs)
+        ref_losses = steps(ref, dataset, 6)
+
+        a = make_trainer(freqs=freqs)
+        steps(a, dataset, 3)
+        mgr = CheckpointManager(tmp_path / "ckpts")
+        path = mgr.save(a)
+        assert path.exists() and path.suffix == ".npz"
+        b = make_trainer(freqs=freqs, seed=999)
+        meta = CheckpointManager(tmp_path / "ckpts").load(b)
+        assert meta["extra"]["step"] == 3
+        resumed = steps(b, dataset, 3)
+        np.testing.assert_allclose(resumed, ref_losses[3:], rtol=1e-6)
+
+    def test_step_naming_and_latest(self, dataset, tmp_path):
+        mgr = CheckpointManager(tmp_path, prefix="run")
+        a = make_trainer()
+        for step in (1, 12, 3):
+            mgr.save(a, step=step)
+        assert mgr.latest().name == "run-00000012.npz"
+        assert [p.name for p in mgr.checkpoints()] == [
+            "run-00000001.npz", "run-00000003.npz", "run-00000012.npz"]
+
+    def test_latest_empty_directory(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
+
+    def test_load_without_checkpoints_raises(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            mgr.load(make_trainer())
+
+    def test_rotate_keeps_newest(self, dataset, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        a = make_trainer()
+        for step in range(5):
+            mgr.save(a, step=step)
+        removed = mgr.rotate(keep_last=2)
+        assert len(removed) == 3
+        assert [p.name for p in mgr.checkpoints()] == [
+            "ckpt-00000003.npz", "ckpt-00000004.npz"]
+
+    def test_keep_last_rotates_on_save(self, dataset, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep_last=2)
+        a = make_trainer()
+        for step in range(4):
+            mgr.save(a, step=step)
+        assert len(mgr.checkpoints()) == 2
+        assert mgr.latest().name == "ckpt-00000003.npz"
+
+    def test_extra_metadata_persisted(self, dataset, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        a = make_trainer()
+        mgr.save(a, step=7, extra_meta={"world_size": 8})
+        b = make_trainer(seed=1)
+        meta = mgr.load(b)
+        assert meta["extra"] == {"world_size": 8, "step": 7}
+
+    def test_foreign_files_ignored(self, dataset, tmp_path):
+        (tmp_path / "notes.txt").write_text("not a checkpoint")
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(make_trainer(), step=1)
+        assert len(mgr.checkpoints()) == 1
+
+
+class TestDeprecatedWrappers:
+    def test_free_functions_warn_but_work(self, dataset, tmp_path):
+        a = make_trainer()
+        steps(a, dataset, 1)
+        with pytest.warns(DeprecationWarning, match="CheckpointManager.save"):
+            path = save_checkpoint(a, tmp_path / "legacy")
+        b = make_trainer(seed=9)
+        with pytest.warns(DeprecationWarning, match="CheckpointManager.load"):
+            meta = load_checkpoint(b, path)
+        assert meta["history_len"] == 1
+        for (n1, p1), (_, p2) in zip(a.model.named_parameters(),
+                                     b.model.named_parameters()):
+            np.testing.assert_array_equal(p1.master_value(), p2.master_value())

@@ -1,0 +1,106 @@
+"""Hardened staging: StagingError surfacing, retries, lossy-wire recovery."""
+import numpy as np
+import pytest
+
+from repro.comm import World
+from repro.errors import StagingConfigError, StagingError, StagingReadError
+from repro.io.staging import stage_distributed, stage_files_to_disk
+from repro.resilience import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
+
+
+def make_source(tmp_path, n=6, size=64):
+    src = tmp_path / "pfs"
+    src.mkdir()
+    rng = np.random.default_rng(0)
+    for i in range(n):
+        data = rng.integers(0, 255, size=size, dtype=np.uint8)
+        (src / f"data-{i:04d}.npz").write_bytes(data.tobytes())
+    return src
+
+
+class TestReadErrors:
+    def test_unreadable_file_raises_staging_error_with_path(self, tmp_path):
+        src = make_source(tmp_path)
+        victim = src / "data-0002.npz"
+        victim.unlink()
+        victim.mkdir()  # read_bytes() on a directory -> OSError
+        with pytest.raises(StagingReadError) as info:
+            stage_files_to_disk(World(2), src, tmp_path / "local", 3,
+                                retry=RetryPolicy(max_attempts=2,
+                                                  backoff_base_s=0.0))
+        assert info.value.path == victim
+        assert str(victim) in str(info.value)
+
+    def test_staging_error_not_raw_oserror(self, tmp_path):
+        """The worker wraps the OSError: callers can catch StagingError."""
+        src = make_source(tmp_path)
+        victim = src / "data-0001.npz"
+        victim.unlink()
+        victim.mkdir()
+        with pytest.raises(StagingError):
+            stage_files_to_disk(World(2), src, tmp_path / "local", 3,
+                                retry=RetryPolicy(max_attempts=2,
+                                                  backoff_base_s=0.0))
+
+    def test_empty_source_is_config_error(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StagingConfigError, match="no data files"):
+            stage_files_to_disk(World(2), tmp_path / "empty",
+                                tmp_path / "local", 2)
+
+
+class TestInjectedFaults:
+    def test_injected_read_fault_is_retried_and_staging_completes(self, tmp_path):
+        src = make_source(tmp_path)
+        plan = FaultPlan([FaultSpec("read_fault", step=0, count=2)])
+        injector = FaultInjector(plan)
+        injector.begin_step(0)
+        paths, stats = stage_files_to_disk(
+            World(2, fault_injector=injector), src, tmp_path / "local", 3,
+            fault_injector=injector,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0))
+        assert stats["consistent"]
+        assert injector.counts["read_fault"] == 2
+
+    def test_exhausted_retries_surface_staging_error(self, tmp_path):
+        src = make_source(tmp_path)
+        # More injected faults than the whole run retries: the first file
+        # keeps failing until its retry budget is gone.
+        plan = FaultPlan([FaultSpec("read_fault", step=0, count=50)])
+        injector = FaultInjector(plan)
+        injector.begin_step(0)
+        with pytest.raises(StagingReadError):
+            stage_files_to_disk(
+                World(2), src, tmp_path / "local", 3,
+                fault_injector=injector,
+                retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0))
+
+    def test_staging_survives_dropped_messages(self, tmp_path):
+        src = make_source(tmp_path)
+        plan = FaultPlan([FaultSpec("drop_msg", step=0, count=2)])
+        injector = FaultInjector(plan)
+        injector.begin_step(0)
+        world = World(3, fault_injector=injector)
+        paths, stats = stage_files_to_disk(world, src, tmp_path / "local", 3)
+        assert stats["consistent"]
+        assert world.stats.total_dropped == 2
+
+    def test_stage_distributed_survives_drops(self):
+        plan = FaultPlan([FaultSpec("drop_msg", step=0, count=3)])
+        injector = FaultInjector(plan)
+        injector.begin_step(0)
+        world = World(4, fault_injector=injector)
+        staged, stats = stage_distributed(world, num_files=32,
+                                          files_per_rank=8, seed=1)
+        assert stats["consistent"]
+        assert world.stats.total_dropped == 3
+
+    def test_duplicates_do_not_corrupt_staging(self, tmp_path):
+        src = make_source(tmp_path)
+        plan = FaultPlan([FaultSpec("dup_msg", step=0, count=3)])
+        injector = FaultInjector(plan)
+        injector.begin_step(0)
+        world = World(3, fault_injector=injector)
+        _, stats = stage_files_to_disk(world, src, tmp_path / "local", 3)
+        assert stats["consistent"]
+        assert world.stats.total_duplicated == 3

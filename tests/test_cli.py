@@ -62,6 +62,29 @@ class TestCli:
         assert "per-step throughput: median" in metrics
         assert (out / "telemetry.jsonl").exists()
 
+    def test_faults_drill_recovers(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "faults_out"
+        # The ISSUE acceptance drill: 8 ranks, one rank death at step 2,
+        # two injected read faults.  Exit 0 asserts the faulty run finished
+        # and recovered to within tolerance of the fault-free baseline.
+        assert main(["faults",
+                     "--plan", "rank_fail@2:rank=1;read_fault@1;read_fault@4",
+                     "--ranks", "8", "--steps", "6", "--samples", "16",
+                     "--grid", "16", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "world size" in printed and "8 -> 7" in printed
+        assert "elastic recoveries" in printed
+        assert "recovery OK" in printed
+        doc = json.loads((out / "trace.json").read_text())
+        cats = {r.get("cat") for r in doc["traceEvents"]}
+        assert "resilience" in cats
+        names = {r.get("name") for r in doc["traceEvents"]}
+        assert "elastic_recovery" in names and "fault_injected" in names
+        assert (out / "ckpts").exists()
+        assert (out / "metrics.txt").exists()
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -1,0 +1,99 @@
+"""Unified exception hierarchy: structure and backward compatibility."""
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_subsystem_bases(self):
+        assert issubclass(errors.RankError, errors.CommError)
+        assert issubclass(errors.DeadlockError, errors.CommError)
+        assert issubclass(errors.StagingConfigError, errors.StagingError)
+        assert issubclass(errors.StagingReadError, errors.StagingError)
+        assert issubclass(errors.CheckpointFormatError, errors.CheckpointError)
+        assert issubclass(errors.CheckpointConfigMismatch, errors.CheckpointError)
+        for injected in (errors.RankFailure, errors.ReadFault,
+                         errors.MessageDropped):
+            assert issubclass(injected, errors.FaultInjected)
+
+    def test_legacy_builtin_compatibility(self):
+        """except clauses written against the old bare raises keep working."""
+        assert issubclass(errors.RankError, ValueError)
+        assert issubclass(errors.DeadlockError, LookupError)
+        assert issubclass(errors.StagingConfigError, ValueError)
+        assert issubclass(errors.StagingReadError, OSError)
+        assert issubclass(errors.CheckpointFormatError, ValueError)
+        assert issubclass(errors.CheckpointConfigMismatch, ValueError)
+        assert issubclass(errors.ReadFault, OSError)
+
+    def test_one_clause_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MessageDropped(0, 1, 7)
+        with pytest.raises(errors.ReproError):
+            raise errors.StagingReadError("bad", path="/x")
+
+
+class TestPayloads:
+    def test_rank_failure_carries_rank(self):
+        exc = errors.RankFailure(3)
+        assert exc.rank == 3
+        assert "rank 3" in str(exc)
+
+    def test_staging_read_error_carries_path(self):
+        exc = errors.StagingReadError("unreadable", path="/data/f-0.npz")
+        assert exc.path == "/data/f-0.npz"
+
+    def test_read_fault_carries_path(self):
+        exc = errors.ReadFault("injected", path="sample-4")
+        assert exc.path == "sample-4"
+
+    def test_message_dropped_identifies_channel(self):
+        exc = errors.MessageDropped(2, 5, 100)
+        assert (exc.src, exc.dst, exc.tag) == (2, 5, 100)
+        assert "rank 2" in str(exc) and "rank 5" in str(exc)
+
+
+class TestLegacySites:
+    """The migrated raise sites produce the new types."""
+
+    def test_world_rank_error(self):
+        from repro.comm import World
+        w = World(2)
+        with pytest.raises(errors.RankError):
+            w.send(1, 0, 5)
+
+    def test_world_deadlock_error(self):
+        from repro.comm import World
+        w = World(2)
+        with pytest.raises(errors.DeadlockError):
+            w.recv(1, 0)
+
+    def test_staging_config_error(self):
+        from repro.hpc import SUMMIT
+        from repro.io import plan_staging
+        with pytest.raises(errors.StagingConfigError):
+            plan_staging(SUMMIT, 1000, 1e6, 16, strategy="telepathy")
+
+    def test_checkpoint_mismatch_error(self, tmp_path):
+        import numpy as np
+
+        from repro.core import CheckpointManager, TrainConfig, Trainer
+        from repro.core.networks import Tiramisu, TiramisuConfig
+
+        def make(cfg):
+            model = Tiramisu(
+                TiramisuConfig(in_channels=2, base_filters=4, growth=4,
+                               down_layers=(1,), bottleneck_layers=1,
+                               kernel=3, dropout=0.0),
+                rng=np.random.default_rng(0))
+            return Trainer(model, cfg)
+
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(make(TrainConfig(lr=0.05, optimizer="sgd")), step=1)
+        with pytest.raises(errors.CheckpointConfigMismatch):
+            mgr.load(make(TrainConfig(lr=0.05, optimizer="adam")))
