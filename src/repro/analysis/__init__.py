@@ -1,0 +1,57 @@
+"""Static analysis for distributed correctness (``repro lint``).
+
+A stdlib-``ast`` analyzer purpose-built for this codebase's hazard
+classes: collectives inside rank-conditional branches (deadlock),
+broad ``except`` clauses that swallow :class:`repro.errors.ReproError`,
+unseeded module-global RNG (rank divergence), the deprecated checkpoint
+free functions, mutable default arguments, and raw ``float16`` outside
+the loss-scaled precision layer.
+
+The moving parts:
+
+* :class:`~.rules.Rule` — pluggable rule base class; the pack lives in
+  :mod:`repro.analysis.rules` (``RPR001``–``RPR007``).
+* :class:`~.walker.Analyzer` — project walker with per-file caching keyed
+  on content hash + rule-set signature, inline
+  ``# repro-lint: disable=RPRxxx`` suppressions (plus ``disable-file=``),
+  and stale-suppression detection.
+* :class:`~.baseline.Baseline` — the committed
+  ``.repro-lint-baseline.json``: legacy findings don't gate CI, new ones
+  do.
+* :func:`~.walker.run_lint` — one-call programmatic entry point, the same
+  path the ``repro lint`` CLI takes.
+
+Typical programmatic use::
+
+    from repro.analysis import run_lint
+    report = run_lint(["src/repro"], baseline_path=".repro-lint-baseline.json")
+    for f in report.new_findings:
+        print(f.location(), f.rule_id, f.message)
+"""
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .findings import Edit, Finding, apply_edits
+from .render import json_document, render_json, render_text
+from .rules import (DEFAULT_RULES, FileContext, Rule, default_rules,
+                    rule_catalog, rules_signature)
+from .walker import Analyzer, AnalysisReport, Suppression, run_lint
+
+__all__ = [
+    "Analyzer",
+    "AnalysisReport",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_RULES",
+    "Edit",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Suppression",
+    "apply_edits",
+    "default_rules",
+    "json_document",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "rules_signature",
+    "run_lint",
+]

@@ -1,0 +1,102 @@
+"""The committed findings baseline: legacy debt doesn't gate CI, new does.
+
+``.repro-lint-baseline.json`` records every finding the team has accepted
+(typically pre-existing debt at the moment a rule landed).  Matching is
+*content*-based, not line-number-based: an entry is
+``(rule, path, stripped source line)``, kept as a multiset, so findings
+survive unrelated edits that shift line numbers but stop matching the
+moment the offending line itself changes — exactly when a human should
+look again.
+
+``repro lint --update-baseline`` rewrites the file from the current
+findings; the diff of the baseline in review *is* the list of newly
+accepted debt.
+"""
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+def _key(rule_id: str, path: str, text: str) -> tuple[str, str, str]:
+    return (rule_id, path, text.strip())
+
+
+class Baseline:
+    """A multiset of accepted findings keyed on (rule, path, line text)."""
+
+    def __init__(self, entries: list[dict] | None = None):
+        self.entries = list(entries or [])
+        self._counts = Counter(
+            _key(e["rule"], e["path"], e.get("text", ""))
+            for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return self._counts[_key(finding.rule_id, finding.path,
+                                 finding.line_text)] > 0
+
+    # -- io ----------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        doc = json.loads(path.read_text())
+        if doc.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {doc.get('version')!r} "
+                f"in {path}")
+        return cls(doc.get("entries", []))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        doc = {
+            "version": _VERSION,
+            "comment": ("Accepted repro-lint findings. Regenerate with "
+                        "`repro lint --update-baseline`; matching is by "
+                        "(rule, path, line text), so line numbers are "
+                        "informational only."),
+            "entries": self.entries,
+        }
+        path.write_text(json.dumps(doc, indent=1, sort_keys=False) + "\n")
+        return path
+
+    # -- construction / matching -------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries = [
+            {"rule": f.rule_id, "path": f.path, "line": f.line,
+             "text": f.line_text}
+            for f in sorted(findings,
+                            key=lambda f: (f.path, f.line, f.rule_id))
+        ]
+        return cls(entries)
+
+    def apply(self, findings: list[Finding]) -> int:
+        """Mark baselined findings in place (consuming multiset entries);
+        returns how many matched."""
+        budget = Counter(self._counts)
+        matched = 0
+        for f in findings:
+            if f.suppressed:
+                continue
+            k = _key(f.rule_id, f.path, f.line_text)
+            if budget[k] > 0:
+                budget[k] -= 1
+                f.baselined = True
+                matched += 1
+        return matched

@@ -1,0 +1,133 @@
+"""Findings and text edits: the analyzer's currency.
+
+A :class:`Finding` is one diagnostic — rule ID, severity, location, and
+message — optionally carrying :class:`Edit` objects that rewrite the
+offending source (the ``--fix`` path).  Edits use the same coordinate
+convention as :mod:`ast` nodes (1-based line, 0-based column) so rules can
+lift them straight off node attributes; :func:`apply_edits` converts to
+absolute offsets and applies them right-to-left so earlier edits never
+invalidate later spans.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SEVERITIES", "Edit", "Finding", "apply_edits"]
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Edit:
+    """Replace source text in ``[start, end)`` with ``replacement``.
+
+    Coordinates follow :mod:`ast`: ``line``/``end_line`` are 1-based,
+    ``col``/``end_col`` are 0-based character offsets into the line.
+    A zero-width span (start == end) is a pure insertion.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+    def as_dict(self) -> dict:
+        return {"line": self.line, "col": self.col,
+                "end_line": self.end_line, "end_col": self.end_col,
+                "replacement": self.replacement}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Edit":
+        return cls(d["line"], d["col"], d["end_line"], d["end_col"],
+                   d["replacement"])
+
+
+@dataclass
+class Finding:
+    """One diagnostic produced by a rule (or the walker itself)."""
+
+    rule_id: str
+    severity: str
+    path: str               # root-relative posix path
+    line: int               # 1-based
+    col: int                # 0-based
+    message: str
+    line_text: str = ""     # stripped source line — the baseline fingerprint
+    edits: tuple[Edit, ...] = ()
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def fixable(self) -> bool:
+        return bool(self.edits)
+
+    @property
+    def new(self) -> bool:
+        """True when this finding should gate CI (not suppressed/baselined)."""
+        return not (self.suppressed or self.baselined)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.line_text,
+            "fixable": self.fixable,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "edits": [e.as_dict() for e in self.edits],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Finding":
+        return cls(rule_id=d["rule"], severity=d["severity"], path=d["path"],
+                   line=d["line"], col=d["col"], message=d["message"],
+                   line_text=d.get("text", ""),
+                   edits=tuple(Edit.from_dict(e) for e in d.get("edits", ())),
+                   suppressed=d.get("suppressed", False),
+                   baselined=d.get("baselined", False))
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def apply_edits(source: str, edits: list[Edit]) -> tuple[str, int]:
+    """Apply ``edits`` to ``source``; returns ``(new_source, applied)``.
+
+    Edits are applied from the end of the file backwards so offsets stay
+    valid; overlapping edits are skipped (first writer wins) rather than
+    producing corrupt output.
+    """
+    starts = _line_starts(source)
+
+    def offset(line: int, col: int) -> int:
+        idx = min(max(line - 1, 0), len(starts) - 1)
+        return starts[idx] + col
+
+    spans = sorted(
+        ((offset(e.line, e.col), offset(e.end_line, e.end_col), e)
+         for e in edits),
+        key=lambda t: (t[0], t[1]))
+    applied = []
+    last_end = -1
+    for start, end, e in spans:
+        if start < last_end or end < start:
+            continue            # overlap or inverted span: skip, don't corrupt
+        applied.append((start, end, e))
+        last_end = end
+    out = source
+    for start, end, e in reversed(applied):
+        out = out[:start] + e.replacement + out[end:]
+    return out, len(applied)

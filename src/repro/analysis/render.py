@@ -1,0 +1,68 @@
+"""Rendering: findings as a terminal report or a machine-readable document.
+
+Text output is one ``path:line:col: RPRxxx [severity] message`` line per
+*new* finding (the ones that gate CI) plus a summary; JSON carries every
+finding with its suppression/baseline flags so downstream tooling — the
+CI gate, ``examples/lint_report.py`` — never has to re-parse text.
+"""
+from __future__ import annotations
+
+import json
+
+from .walker import AnalysisReport
+
+__all__ = ["render_text", "render_json", "json_document"]
+
+
+def render_text(report: AnalysisReport, show_all: bool = False) -> str:
+    lines = []
+    for f in report.findings:
+        if not (show_all or f.new):
+            continue
+        tag = ""
+        if f.baselined:
+            tag = " (baselined)"
+        elif f.suppressed:
+            tag = " (suppressed)"
+        lines.append(f"{f.location()}: {f.rule_id} [{f.severity}] "
+                     f"{f.message}{tag}")
+    for err in report.parse_errors:
+        lines.append(f"parse error: {err}")
+    new = report.new_findings
+    by_rule = report.by_rule(new_only=True)
+    rule_part = (" (" + ", ".join(f"{k}: {v}" for k, v in by_rule.items())
+                 + ")") if by_rule else ""
+    summary = (f"{len(report.findings)} finding"
+               f"{'s' if len(report.findings) != 1 else ''} in "
+               f"{report.files} files: {len(new)} new{rule_part}, "
+               f"{report.baselined_count} baselined, "
+               f"{report.suppressed_count} suppressed")
+    if report.cache_hits:
+        summary += f" [{report.cache_hits} cached]"
+    if report.fixed:
+        summary += f" [{report.fixed} fixed]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def json_document(report: AnalysisReport) -> dict:
+    return {
+        "findings": [f.as_dict() for f in report.findings],
+        "summary": {
+            "files": report.files,
+            "findings": len(report.findings),
+            "new": len(report.new_findings),
+            "baselined": report.baselined_count,
+            "suppressed": report.suppressed_count,
+            "cache_hits": report.cache_hits,
+            "fixed": report.fixed,
+            "by_rule": report.by_rule(),
+            "new_by_rule": report.by_rule(new_only=True),
+        },
+        "parse_errors": report.parse_errors,
+        "exit_code": report.exit_code,
+    }
+
+
+def render_json(report: AnalysisReport, indent: int = 2) -> str:
+    return json.dumps(json_document(report), indent=indent)

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli train --samples 16 --epochs 4
     python -m repro.cli trace --steps 3 --out trace_out
     python -m repro.cli faults --ranks 8 --plan "rank_fail@2:rank=1;read_fault@1"
+    python -m repro.cli lint --format json src tests
 """
 from __future__ import annotations
 
@@ -342,6 +343,40 @@ def _cmd_faults(args) -> int:
     return 0 if recovered else 1
 
 
+def _cmd_lint(args) -> int:
+    """Distributed-correctness static analysis over the given paths.
+
+    Exit code 0 when every finding is inline-suppressed or recorded in the
+    committed baseline; 1 when any *new* finding exists — that is the CI
+    gate.  ``--update-baseline`` rewrites the baseline from the current
+    findings (and exits 0); ``--fix`` applies every rule autofix in place
+    and reports the post-fix state; ``--rules`` prints the rule catalog.
+    """
+    from .analysis import render_json, render_text, rule_catalog, run_lint
+
+    if args.rules:
+        for row in rule_catalog():
+            fix = " [autofix]" if row["autofix"] else ""
+            print(f"{row['id']} {row['name']} ({row['severity']}){fix}")
+            print(f"    {row['description']}")
+        return 0
+    paths = args.paths or ["src", "tests"]
+    report = run_lint(
+        paths,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+        fix=args.fix,
+        cache_path=args.cache)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_all=args.show_all))
+    if args.update_baseline:
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate experiments from the paper")
@@ -416,6 +451,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max relative final-loss difference vs fault-free")
     pf.add_argument("--out", default="faults_out")
     pf.set_defaults(fn=_cmd_faults)
+
+    pl = sub.add_parser(
+        "lint",
+        help="distributed-correctness static analysis (AST rule pack)")
+    pl.add_argument("paths", nargs="*",
+                    help="files/directories to analyze (default: src tests)")
+    pl.add_argument("--format", default="text", choices=["text", "json"])
+    pl.add_argument("--fix", action="store_true",
+                    help="apply rule autofixes in place, then re-analyze")
+    pl.add_argument("--update-baseline", action="store_true",
+                    help="accept all current findings into the baseline")
+    pl.add_argument("--baseline", default=".repro-lint-baseline.json",
+                    help="baseline file (default: .repro-lint-baseline.json)")
+    pl.add_argument("--cache", default=None, metavar="PATH",
+                    help="per-file result cache keyed on content hash "
+                         "(off unless given; CI restores this file)")
+    pl.add_argument("--show-all", action="store_true",
+                    help="also list baselined and suppressed findings")
+    pl.add_argument("--rules", action="store_true",
+                    help="print the rule catalog and exit")
+    pl.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,109 @@
+"""Autofix: edits repair the source, and fixing twice changes nothing."""
+import textwrap
+
+from repro.analysis import apply_edits, run_lint
+from repro.analysis.findings import Edit
+
+
+def write(tmp_path, name, source):
+    p = tmp_path / name
+    p.write_text(textwrap.dedent(source))
+    return p
+
+
+class TestApplyEdits:
+    def test_edits_applied_back_to_front(self):
+        src = "aaa bbb ccc\n"
+        out, n = apply_edits(src, [Edit(1, 0, 1, 3, "X"),
+                                   Edit(1, 8, 1, 11, "Z")])
+        assert out == "X bbb Z\n" and n == 2
+
+    def test_overlapping_edit_skipped(self):
+        src = "abcdef\n"
+        out, n = apply_edits(src, [Edit(1, 0, 1, 4, "X"),
+                                   Edit(1, 2, 1, 6, "Y")])
+        assert out == "Xef\n" and n == 1
+
+    def test_insertions_at_same_point_both_apply(self):
+        out, n = apply_edits("ab\n", [Edit(1, 1, 1, 1, "X"),
+                                      Edit(1, 1, 1, 1, "Y")])
+        assert out == "aXYb\n" and n == 2
+
+
+class TestMutableDefaultFix:
+    def test_guard_inserted_after_docstring(self, tmp_path):
+        p = write(tmp_path, "a.py", '''\
+            def acc(x, out=[]):
+                """Collect values."""
+                out.append(x)
+                return out
+            ''')
+        report = run_lint([tmp_path], root=tmp_path, fix=True)
+        assert report.fixed == 1 and report.new_findings == []
+        fixed = p.read_text()
+        assert "out=None" in fixed
+        lines = fixed.splitlines()
+        assert lines[1].strip().startswith('"""')    # docstring still first
+        assert lines[2] == "    if out is None:"
+        assert lines[3] == "        out = []"
+
+    def test_one_line_def_flagged_but_untouched(self, tmp_path):
+        p = write(tmp_path, "a.py", "def f(out=[]): return out\n")
+        before = p.read_text()
+        report = run_lint([tmp_path], root=tmp_path, fix=True)
+        assert p.read_text() == before
+        assert [f.rule_id for f in report.new_findings] == ["RPR005"]
+
+
+class TestBareExceptFix:
+    def test_bare_becomes_exception(self, tmp_path):
+        p = write(tmp_path, "a.py", """\
+            try:
+                risky()
+            except:
+                pass
+            """)
+        report = run_lint([tmp_path], root=tmp_path, fix=True)
+        assert "except Exception:" in p.read_text()
+        # Still broad, so still flagged — but now visibly, not silently.
+        assert [f.rule_id for f in report.new_findings] == ["RPR002"]
+
+
+class TestStaleSuppressionFix:
+    def test_stale_comment_removed(self, tmp_path):
+        p = write(tmp_path, "a.py", """\
+            x = 1  # repro-lint: disable=RPR006
+            y = 2
+            """)
+        report = run_lint([tmp_path], root=tmp_path, fix=True)
+        assert report.fixed == 1 and report.exit_code == 0
+        assert p.read_text() == "x = 1\ny = 2\n"
+
+    def test_live_suppression_kept(self, tmp_path):
+        p = write(tmp_path, "a.py", """\
+            def f(out=[]):  # repro-lint: disable=RPR005
+                return out
+            """)
+        before = p.read_text()
+        report = run_lint([tmp_path], root=tmp_path, fix=True)
+        assert p.read_text() == before and report.exit_code == 0
+
+
+class TestIdempotence:
+    def test_fix_twice_yields_no_diff(self, tmp_path):
+        p = write(tmp_path, "a.py", '''\
+            def acc(x, out=[], table={}):
+                """Doc."""
+                try:
+                    out.append(table[x])
+                except:
+                    pass
+                return out
+
+            z = 1  # repro-lint: disable=RPR001
+            ''')
+        run_lint([tmp_path], root=tmp_path, fix=True)
+        after_first = p.read_text()
+        second = run_lint([tmp_path], root=tmp_path, fix=True)
+        assert p.read_text() == after_first
+        assert second.fixed == 0

@@ -1,0 +1,101 @@
+"""Baseline: legacy findings don't gate, new ones do; content-keyed matching."""
+import json
+import textwrap
+
+from repro.analysis import Baseline, run_lint
+
+LEGACY = """\
+    import numpy as np
+
+    def half(x):
+        return x.astype(np.float16)
+    """
+
+
+def write(tmp_path, name, source):
+    p = tmp_path / name
+    p.write_text(textwrap.dedent(source))
+    return p
+
+
+class TestRoundTrip:
+    def test_update_then_clean_run(self, tmp_path):
+        write(tmp_path, "legacy.py", LEGACY)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        first = run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                         update_baseline=True)
+        assert baseline.exists()
+        assert first.exit_code == 0 and first.baselined_count == 1
+        second = run_lint([tmp_path], root=tmp_path, baseline_path=baseline)
+        assert second.exit_code == 0
+        assert second.baselined_count == 1 and second.new_findings == []
+
+    def test_new_finding_still_gates(self, tmp_path):
+        write(tmp_path, "legacy.py", LEGACY)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        write(tmp_path, "fresh.py", """\
+            import numpy as np
+            y = np.random.rand(3)
+            """)
+        report = run_lint([tmp_path], root=tmp_path, baseline_path=baseline)
+        assert report.exit_code == 1
+        assert [f.rule_id for f in report.new_findings] == ["RPR003"]
+        assert report.baselined_count == 1
+
+    def test_line_shift_keeps_matching(self, tmp_path):
+        p = write(tmp_path, "legacy.py", LEGACY)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        # Unrelated edit above the finding: line number shifts, text doesn't.
+        p.write_text("# a new header comment\n" + p.read_text())
+        report = run_lint([tmp_path], root=tmp_path, baseline_path=baseline)
+        assert report.exit_code == 0 and report.baselined_count == 1
+
+    def test_changed_offending_line_stops_matching(self, tmp_path):
+        p = write(tmp_path, "legacy.py", LEGACY)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        p.write_text(p.read_text().replace("x.astype(np.float16)",
+                                           "np.float16(x + 1)"))
+        report = run_lint([tmp_path], root=tmp_path, baseline_path=baseline)
+        assert report.exit_code == 1        # the human should look again
+
+    def test_multiset_semantics(self, tmp_path):
+        # Two identical offending lines need two baseline entries.
+        write(tmp_path, "legacy.py", """\
+            import numpy as np
+
+            def half(x):
+                return x.astype(np.float16)
+
+            def half2(x):
+                return x.astype(np.float16)
+            """)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        doc = json.loads(baseline.read_text())
+        assert len(doc["entries"]) == 2
+        report = run_lint([tmp_path], root=tmp_path, baseline_path=baseline)
+        assert report.exit_code == 0 and report.baselined_count == 2
+
+
+class TestBaselineFile:
+    def test_missing_file_is_empty(self, tmp_path):
+        b = Baseline.load(tmp_path / "absent.json")
+        assert len(b) == 0
+
+    def test_suppressed_findings_never_enter_baseline(self, tmp_path):
+        write(tmp_path, "a.py", """\
+            import numpy as np
+            y = np.random.rand(3)  # repro-lint: disable=RPR003
+            """)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        doc = json.loads(baseline.read_text())
+        assert doc["entries"] == []

@@ -1,0 +1,46 @@
+"""Self-check: the repo lints clean against its own committed baseline.
+
+This is the same invocation the CI ``lint`` job runs; if it fails here,
+either fix the new finding, suppress it inline with a reason, or accept
+it explicitly via ``repro lint --update-baseline`` (and justify the
+baseline diff in review).
+"""
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, run_lint
+from repro.analysis.rules import DEFAULT_RULES
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / ".repro-lint-baseline.json"
+
+
+class TestSelfCheck:
+    def test_repo_lints_clean_against_committed_baseline(self):
+        report = run_lint([REPO / "src", REPO / "tests"], root=REPO,
+                          baseline_path=BASELINE)
+        assert report.parse_errors == []
+        offenders = [f"{f.location()} {f.rule_id} {f.message}"
+                     for f in report.new_findings]
+        assert report.exit_code == 0, "\n".join(offenders)
+
+    def test_committed_baseline_is_current_format(self):
+        assert BASELINE.exists()
+        doc = json.loads(BASELINE.read_text())
+        assert doc["version"] == 1
+        baseline = Baseline.load(BASELINE)
+        # The known legacy debt: raw float16 in the emulation substrate.
+        assert len(baseline) > 0
+        assert all(e["rule"] == "RPR006" for e in baseline.entries)
+
+    def test_no_stale_baseline_monoculture(self):
+        """Every baseline entry still matches a real finding — a stale
+        baseline silently grows blind spots."""
+        report = run_lint([REPO / "src", REPO / "tests"], root=REPO,
+                          baseline_path=BASELINE)
+        assert report.baselined_count == len(Baseline.load(BASELINE))
+
+    def test_rule_ids_are_unique_and_well_formed(self):
+        ids = [cls.id for cls in DEFAULT_RULES]
+        assert len(ids) == len(set(ids))
+        assert all(i.startswith("RPR") and len(i) == 6 for i in ids)

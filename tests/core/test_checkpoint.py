@@ -39,6 +39,8 @@ def steps(trainer, dataset, n, seed=0):
 
 
 class TestRoundtrip:
+    """State-restoration fidelity, through the CheckpointManager API."""
+
     def test_bit_exact_resume(self, dataset, tmp_path):
         freqs = class_frequencies(dataset.labels)
         # Reference: 6 uninterrupted steps.
@@ -48,9 +50,9 @@ class TestRoundtrip:
         # Checkpointed: 3 steps, save, rebuild, load, 3 more steps.
         a = make_trainer(freqs=freqs)
         steps(a, dataset, 3)
-        path = save_checkpoint(a, tmp_path / "ckpt")
+        CheckpointManager(tmp_path).save(a)
         b = make_trainer(freqs=freqs, seed=999)  # different init, then restored
-        load_checkpoint(b, path)
+        CheckpointManager(tmp_path).load(b)
         resumed_losses = steps(b, dataset, 3)
 
         # The resumed run reproduces the uninterrupted run exactly: same
@@ -64,9 +66,10 @@ class TestRoundtrip:
         cfg = TrainConfig(lr=0.05, optimizer="sgd", momentum=0.9)
         a = make_trainer(cfg)
         steps(a, dataset, 2)
-        path = save_checkpoint(a, tmp_path / "m")
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(a)
         b = make_trainer(cfg, seed=1)
-        load_checkpoint(b, path)
+        mgr.load(b)
         vel_a = {p.name: a.optimizer._velocity[id(p)] for p in a.optimizer.params
                  if id(p) in a.optimizer._velocity}
         vel_b = {p.name: b.optimizer._velocity[id(p)] for p in b.optimizer.params
@@ -79,9 +82,10 @@ class TestRoundtrip:
         cfg = TrainConfig(lr=0.01, optimizer="adam")
         a = make_trainer(cfg)
         steps(a, dataset, 2)
-        path = save_checkpoint(a, tmp_path / "adam")
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(a)
         b = make_trainer(cfg, seed=2)
-        load_checkpoint(b, path)
+        mgr.load(b)
         assert b.optimizer._t  # step counters restored
         la = steps(a, dataset, 2, seed=5)
         lb = steps(b, dataset, 2, seed=5)
@@ -91,9 +95,10 @@ class TestRoundtrip:
         cfg = TrainConfig(lr=0.05, optimizer="sgd", gradient_lag=1)
         a = make_trainer(cfg)
         steps(a, dataset, 1)  # one gradient parked in the delay line
-        path = save_checkpoint(a, tmp_path / "lag")
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(a)
         b = make_trainer(cfg, seed=3)
-        load_checkpoint(b, path)
+        mgr.load(b)
         assert len(b.optimizer._queue) == 1
         la = steps(a, dataset, 2, seed=6)
         lb = steps(b, dataset, 2, seed=6)
@@ -105,30 +110,27 @@ class TestRoundtrip:
         a = make_trainer(cfg)
         steps(a, dataset, 2)
         a.scaler.scale = 123.0
-        path = save_checkpoint(a, tmp_path / "fp16")
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(a)
         b = make_trainer(cfg, seed=4)
-        load_checkpoint(b, path)
+        mgr.load(b)
         assert b.scaler.scale == 123.0
 
     def test_config_mismatch_rejected(self, dataset, tmp_path):
         a = make_trainer(TrainConfig(lr=0.05, optimizer="sgd"))
-        path = save_checkpoint(a, tmp_path / "cfg")
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(a)
         b = make_trainer(TrainConfig(lr=0.05, optimizer="adam"))
         with pytest.raises(ValueError, match="mismatch"):
-            load_checkpoint(b, path)
-
-    def test_suffix_added(self, dataset, tmp_path):
-        a = make_trainer()
-        path = save_checkpoint(a, tmp_path / "noext")
-        assert path.suffix == ".npz"
-        assert path.exists()
+            mgr.load(b)
 
     def test_metadata_returned(self, dataset, tmp_path):
         a = make_trainer()
         steps(a, dataset, 1)
-        path = save_checkpoint(a, tmp_path / "meta")
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(a)
         b = make_trainer(seed=5)
-        meta = load_checkpoint(b, path)
+        meta = mgr.load(b)
         assert meta["history_len"] == 1
         assert meta["config"]["optimizer"] == "larc"
 
@@ -201,15 +203,25 @@ class TestCheckpointManager:
 
 
 class TestDeprecatedWrappers:
+    """The legacy free functions: still correct, warn, and stay the only
+    sanctioned call sites (hence the intentional repro-lint suppressions)."""
+
     def test_free_functions_warn_but_work(self, dataset, tmp_path):
         a = make_trainer()
         steps(a, dataset, 1)
         with pytest.warns(DeprecationWarning, match="CheckpointManager.save"):
-            path = save_checkpoint(a, tmp_path / "legacy")
+            path = save_checkpoint(a, tmp_path / "legacy")  # repro-lint: disable=RPR004
         b = make_trainer(seed=9)
         with pytest.warns(DeprecationWarning, match="CheckpointManager.load"):
-            meta = load_checkpoint(b, path)
+            meta = load_checkpoint(b, path)  # repro-lint: disable=RPR004
         assert meta["history_len"] == 1
         for (n1, p1), (_, p2) in zip(a.model.named_parameters(),
                                      b.model.named_parameters()):
             np.testing.assert_array_equal(p1.master_value(), p2.master_value())
+
+    def test_suffix_added(self, dataset, tmp_path):
+        a = make_trainer()
+        with pytest.warns(DeprecationWarning):
+            path = save_checkpoint(a, tmp_path / "noext")  # repro-lint: disable=RPR004
+        assert path.suffix == ".npz"
+        assert path.exists()
