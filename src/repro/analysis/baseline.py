@@ -86,6 +86,29 @@ class Baseline:
         ]
         return cls(entries)
 
+    def prune(self, findings: list[Finding]
+              ) -> tuple["Baseline", list[dict]]:
+        """Drop entries that no current finding matches.
+
+        Multiset-aware: with two accepted copies of the same (rule, path,
+        text) and one surviving finding, exactly one entry is kept.
+        Returns ``(pruned_baseline, removed_entries)``; never adds
+        entries, so pruning can only shrink the accepted-debt set.
+        """
+        budget = Counter(
+            _key(f.rule_id, f.path, f.line_text)
+            for f in findings if not f.suppressed)
+        kept: list[dict] = []
+        removed: list[dict] = []
+        for entry in self.entries:
+            k = _key(entry["rule"], entry["path"], entry.get("text", ""))
+            if budget[k] > 0:
+                budget[k] -= 1
+                kept.append(entry)
+            else:
+                removed.append(entry)
+        return Baseline(kept), removed
+
     def apply(self, findings: list[Finding]) -> int:
         """Mark baselined findings in place (consuming multiset entries);
         returns how many matched."""

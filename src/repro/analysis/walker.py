@@ -101,6 +101,7 @@ class AnalysisReport:
     cache_hits: int = 0
     fixed: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    pruned_entries: list[dict] = field(default_factory=list)
 
     @property
     def new_findings(self) -> list[Finding]:
@@ -298,6 +299,7 @@ def run_lint(paths: list[str | Path],
              root: str | Path | None = None,
              baseline_path: str | Path | None = None,
              update_baseline: bool = False,
+             prune_baseline: bool = False,
              fix: bool = False,
              cache_path: str | Path | None = None,
              rules: list[Rule] | None = None) -> AnalysisReport:
@@ -306,6 +308,10 @@ def run_lint(paths: list[str | Path],
     Returns an :class:`AnalysisReport` whose ``exit_code`` is 0 iff every
     finding is suppressed or baselined (always 0 after
     ``update_baseline``, which rewrites the baseline to match).
+    ``prune_baseline`` is the shrink-only counterpart: entries that no
+    longer match any current finding are dropped (and reported in
+    ``pruned_entries``) so the accepted-debt file tracks fixes without
+    ever accepting new findings.
     """
     analyzer = Analyzer(rules=rules, root=root, cache_path=cache_path)
     report = analyzer.run(paths)
@@ -317,6 +323,12 @@ def run_lint(paths: list[str | Path],
             Baseline.from_findings(
                 [f for f in report.findings if not f.suppressed]
             ).save(baseline_path)
-        Baseline.load(baseline_path).apply(report.findings)
+        baseline = Baseline.load(baseline_path)
+        if prune_baseline and not update_baseline:
+            baseline, removed = baseline.prune(report.findings)
+            report.pruned_entries = removed
+            if removed:
+                baseline.save(baseline_path)
+        baseline.apply(report.findings)
     _emit_telemetry(report)
     return report

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli train --samples 16 --epochs 4
     python -m repro.cli trace --steps 3 --out trace_out
     python -m repro.cli faults --ranks 8 --plan "rank_fail@2:rank=1;read_fault@1"
+    python -m repro.cli serve --requests 64 --replicas 2 --plan "rank_fail@2:rank=1"
     python -m repro.cli lint --format json src tests
 """
 from __future__ import annotations
@@ -343,13 +344,115 @@ def _cmd_faults(args) -> int:
     return 0 if recovered else 1
 
 
+def _cmd_serve(args) -> int:
+    """Serving drill: seeded synthetic load through the inference server.
+
+    Generates a deterministic request stream (Poisson arrivals, priority
+    lanes, repeat snapshots), serves it through micro-batching + the
+    replica pool + the tile cache + admission control, and prints the
+    end-of-run report (served/shed/failed, per-lane p50/p99, cache hit
+    rate).  ``--plan`` injects replica failures mid-run; ``--json`` emits
+    the machine-readable report the CI smoke job asserts on.  Exit code 1
+    if any *admitted* request was lost (the resilience invariant).
+    """
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from .core.networks import Tiramisu, TiramisuConfig
+    from .perf import format_table
+    from .resilience import FaultPlan
+    from .serve import (FixedServiceTime, InferenceServer, ServeConfig,
+                        WorkloadConfig, summarize, synth_workload)
+    from .telemetry import Telemetry, activate, write_chrome_trace
+
+    if args.requests < 1 or args.replicas < 1 or args.batch < 1:
+        raise SystemExit("serve: --requests, --replicas, and --batch "
+                         "must all be >= 1")
+    slo_s = (("interactive", args.slo_ms / 1e3),) if args.slo_ms else ()
+    config = ServeConfig(
+        window_hw=(args.window, args.window),
+        stride_hw=(args.stride, args.stride) if args.stride else None,
+        num_replicas=args.replicas,
+        max_batch_size=args.batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        forward_batch=args.forward_batch,
+        max_depth=args.max_depth,
+        slo_s=slo_s,
+        cache_budget_bytes=args.cache_mb << 20)
+    workload = WorkloadConfig(
+        num_requests=args.requests, rate_rps=args.rate,
+        image_hw=(args.image, args.image), channels=args.channels,
+        repeat_fraction=args.repeat, seed=args.seed)
+    plan = FaultPlan.parse(args.plan, seed=args.seed) if args.plan else None
+    # A nonzero --service-ms pins virtual service time (deterministic
+    # queueing for CI); 0 uses the measured compute wall time.
+    service = (FixedServiceTime(per_window_s=args.service_ms / 1e3)
+               if args.service_ms else None)
+
+    def factory():
+        return Tiramisu(
+            TiramisuConfig(in_channels=args.channels, base_filters=8,
+                           growth=8, down_layers=(2,), bottleneck_layers=2,
+                           kernel=3, dropout=0.0),
+            rng=np.random.default_rng(args.seed))
+
+    tel = Telemetry()
+    with activate(tel):
+        server = InferenceServer(factory, config, plan=plan,
+                                 service_model=service,
+                                 model_key=f"tiramisu-seed{args.seed}")
+        responses = server.serve(synth_workload(workload))
+        report = summarize(responses, server)
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        trace_path = out / "trace.json"
+        write_chrome_trace(trace_path, tel.tracer.spans())
+        if not args.json:
+            print(f"wrote {trace_path}")
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+    else:
+        sheds = ", ".join(f"{k}={v}"
+                          for k, v in sorted(report.shed_by_reason.items()))
+        rows = [
+            ["offered", str(report.offered)],
+            ["served", str(report.served)],
+            ["shed", f"{report.shed}" + (f" ({sheds})" if sheds else "")],
+            ["failed", str(report.failed)],
+            ["lost admitted", str(report.lost_admitted)],
+            ["throughput", f"{report.throughput_rps:,.1f} req/s"],
+            ["batches", f"{report.batches} "
+                        f"(mean size {report.mean_batch_size:.2f})"],
+            ["replicas alive", f"{len(report.alive_replicas)}/"
+                               f"{args.replicas} "
+                               f"({report.dispatch_retries} retries)"],
+        ]
+        for lane, summary in report.lanes.items():
+            rows.append([f"{lane} p50/p99",
+                         f"{summary.p50_ms:.2f} / {summary.p99_ms:.2f} ms "
+                         f"({summary.served} served, {summary.shed} shed)"])
+        if report.cache is not None:
+            rows.append(["cache hit rate",
+                         f"{report.cache['hit_rate'] * 100:.1f}% "
+                         f"({report.cache['hits']}/{report.cache['hits'] + report.cache['misses']})"])
+        print(format_table(["metric", "value"], rows,
+                           title=f"Serving drill - {args.requests} requests, "
+                                 f"{args.replicas} replicas, seed {args.seed}"))
+    return 0 if report.lost_admitted == 0 else 1
+
+
 def _cmd_lint(args) -> int:
     """Distributed-correctness static analysis over the given paths.
 
     Exit code 0 when every finding is inline-suppressed or recorded in the
     committed baseline; 1 when any *new* finding exists — that is the CI
     gate.  ``--update-baseline`` rewrites the baseline from the current
-    findings (and exits 0); ``--fix`` applies every rule autofix in place
+    findings (and exits 0); ``--prune-baseline`` only *removes* baseline
+    entries that no longer match any finding (fixed debt) without ever
+    accepting new ones; ``--fix`` applies every rule autofix in place
     and reports the post-fix state; ``--rules`` prints the rule catalog.
     """
     from .analysis import render_json, render_text, rule_catalog, run_lint
@@ -365,12 +468,17 @@ def _cmd_lint(args) -> int:
         paths,
         baseline_path=args.baseline,
         update_baseline=args.update_baseline,
+        prune_baseline=args.prune_baseline,
         fix=args.fix,
         cache_path=args.cache)
     if args.format == "json":
         print(render_json(report))
     else:
         print(render_text(report, show_all=args.show_all))
+    if args.prune_baseline and not args.update_baseline:
+        print(f"baseline pruned: {len(report.pruned_entries)} stale "
+              f"entr{'y' if len(report.pruned_entries) == 1 else 'ies'} "
+              f"removed from {args.baseline}")
     if args.update_baseline:
         print(f"baseline updated: {args.baseline}")
         return 0
@@ -452,6 +560,46 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--out", default="faults_out")
     pf.set_defaults(fn=_cmd_faults)
 
+    pv = sub.add_parser(
+        "serve",
+        help="serving drill: synthetic load through the inference server")
+    pv.add_argument("--requests", type=int, default=64)
+    pv.add_argument("--rate", type=float, default=500.0,
+                    help="offered arrival rate, requests/s (Poisson)")
+    pv.add_argument("--replicas", type=int, default=2)
+    pv.add_argument("--batch", type=int, default=8,
+                    help="micro-batch size cap")
+    pv.add_argument("--max-wait-ms", type=float, default=2.0,
+                    help="max batching delay for the oldest request")
+    pv.add_argument("--forward-batch", type=int, default=32,
+                    help="windows stacked per model forward")
+    pv.add_argument("--window", type=int, default=8)
+    pv.add_argument("--stride", type=int, default=4)
+    pv.add_argument("--image", type=int, default=16)
+    pv.add_argument("--channels", type=int, default=4)
+    pv.add_argument("--repeat", type=float, default=0.25,
+                    help="fraction of requests resubmitting an earlier "
+                         "snapshot (cache redundancy)")
+    pv.add_argument("--max-depth", type=int, default=64,
+                    help="per-lane queue cap before queue_full shedding")
+    pv.add_argument("--slo-ms", type=float, default=0.0,
+                    help="interactive-lane queueing SLO; 0 disables "
+                         "slo shedding")
+    pv.add_argument("--cache-mb", type=int, default=32,
+                    help="tile-cache budget in MiB (0 disables)")
+    pv.add_argument("--service-ms", type=float, default=0.0,
+                    help="fixed virtual service time per window, ms "
+                         "(0 = measured compute time)")
+    pv.add_argument("--plan", default="",
+                    help="fault schedule, e.g. 'rank_fail@2:rank=1' "
+                         "(rank = replica id)")
+    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument("--json", action="store_true",
+                    help="emit the report as JSON (CI smoke job)")
+    pv.add_argument("--out", default="",
+                    help="directory for the Chrome trace (optional)")
+    pv.set_defaults(fn=_cmd_serve)
+
     pl = sub.add_parser(
         "lint",
         help="distributed-correctness static analysis (AST rule pack)")
@@ -462,6 +610,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="apply rule autofixes in place, then re-analyze")
     pl.add_argument("--update-baseline", action="store_true",
                     help="accept all current findings into the baseline")
+    pl.add_argument("--prune-baseline", action="store_true",
+                    help="drop baseline entries that no longer match any "
+                         "finding (never accepts new ones)")
     pl.add_argument("--baseline", default=".repro-lint-baseline.json",
                     help="baseline file (default: .repro-lint-baseline.json)")
     pl.add_argument("--cache", default=None, metavar="PATH",

@@ -9,6 +9,16 @@ the overlaps so tile seams don't show up as segmentation artifacts.
 Windows are blended in *logit* space with separable linear (tent) weights,
 so a constant-logit model produces exactly constant output regardless of
 the tiling — the invariant the tests pin down.
+
+The window forward path is factored so the serving layer
+(:mod:`repro.serve`) can reuse it across requests:
+
+* :func:`forward_windows` — run a list of (C, h, w) tiles through the
+  model, stacking them into batches of ``batch_size`` and consulting an
+  optional content-keyed tile cache (:class:`repro.serve.TileCache` duck
+  type: ``key``/``get``/``put``);
+* :func:`blend_windows` — tent-blend per-window logits back into one
+  (K, H, W) logit map.
 """
 from __future__ import annotations
 
@@ -17,8 +27,8 @@ import numpy as np
 from ..framework import Tensor, no_grad
 from ..framework.module import Module
 
-__all__ = ["tile_positions", "tent_window", "sliding_window_logits",
-           "predict_tiled"]
+__all__ = ["tile_positions", "tent_window", "forward_windows",
+           "blend_windows", "sliding_window_logits", "predict_tiled"]
 
 
 def tile_positions(size: int, window: int, stride: int) -> list[int]:
@@ -39,41 +49,101 @@ def tent_window(window: int) -> np.ndarray:
     return ramp.astype(np.float64) / ramp.max()
 
 
+def forward_windows(model: Module, tiles: list[np.ndarray],
+                    batch_size: int = 1, cache=None) -> list[np.ndarray]:
+    """Per-tile (K, h, w) float32 logits for a list of (C, h, w) tiles.
+
+    Tiles are forwarded in stacked batches of ``batch_size`` (one model
+    call per chunk instead of one per window — the hot-path saving the
+    serving benchmarks measure).  ``cache``, when given, must expose
+    ``key(tile)``, ``get(key)``, and ``put(key, value)``; tiles whose
+    content key hits skip the forward entirely, and every computed logit
+    block is stored back.  The model is run in eval mode under
+    :func:`~repro.framework.no_grad` and restored to train mode, matching
+    the historical single-window behaviour.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    outs: list[np.ndarray | None] = [None] * len(tiles)
+    keys: list[str] | None = None
+    if cache is not None:
+        keys = [cache.key(t) for t in tiles]
+        misses = []
+        for i, k in enumerate(keys):
+            hit = cache.get(k)
+            if hit is not None:
+                outs[i] = hit
+            else:
+                misses.append(i)
+    else:
+        misses = list(range(len(tiles)))
+    model.train(False)
+    with no_grad():
+        for at in range(0, len(misses), batch_size):
+            chunk = misses[at:at + batch_size]
+            stack = np.stack([tiles[i] for i in chunk]).astype(np.float32)
+            logits = model(Tensor(stack)).data.astype(np.float32)
+            for j, i in enumerate(chunk):
+                outs[i] = logits[j]
+                if cache is not None:
+                    cache.put(keys[i], logits[j])
+    model.train(True)
+    return outs  # type: ignore[return-value]
+
+
+def blend_windows(outs: list[np.ndarray], ys: list[int], xs: list[int],
+                  image_hw: tuple[int, int], window_hw: tuple[int, int],
+                  num_classes: int | None = None) -> np.ndarray:
+    """Tent-blend per-window logits into a full (K, H, W) logit map.
+
+    ``outs`` holds one (K, wh, ww) block per (y, x) position, ordered as
+    the nested ``for y in ys: for x in xs`` loop produces them.
+    """
+    h, w = image_hw
+    wh, ww = window_hw
+    weight_2d = tent_window(wh)[:, None] * tent_window(ww)[None, :]
+    acc = None
+    weight_acc = np.zeros((h, w))
+    i = 0
+    for y0 in ys:
+        for x0 in xs:
+            out = outs[i].astype(np.float64)
+            i += 1
+            if acc is None:
+                k = out.shape[0] if num_classes is None else num_classes
+                acc = np.zeros((k, h, w))
+            acc[:, y0: y0 + wh, x0: x0 + ww] += out * weight_2d
+            weight_acc[y0: y0 + wh, x0: x0 + ww] += weight_2d
+    if acc is None:
+        raise RuntimeError("no tiles generated")
+    return (acc / np.maximum(weight_acc, 1e-12)).astype(np.float32)
+
+
 def sliding_window_logits(
     model: Module,
     image: np.ndarray,
     window_hw: tuple[int, int],
     stride_hw: tuple[int, int] | None = None,
     num_classes: int | None = None,
+    batch_size: int = 1,
+    cache=None,
 ) -> np.ndarray:
     """Blend per-window logits into a full-image logit map.
 
-    ``image`` is (C, H, W); returns (K, H, W).
+    ``image`` is (C, H, W); returns (K, H, W).  ``batch_size`` stacks that
+    many windows per model call (identical logits up to float
+    reassociation); ``cache`` is an optional content-keyed tile cache — see
+    :func:`forward_windows`.
     """
     c, h, w = image.shape
     wh, ww = window_hw
     sh, sw = stride_hw or (wh // 2, ww // 2)
     ys = tile_positions(h, wh, sh)
     xs = tile_positions(w, ww, sw)
-    weight_2d = tent_window(wh)[:, None] * tent_window(ww)[None, :]
-    acc = None
-    weight_acc = np.zeros((h, w))
-    model.train(False)
-    with no_grad():
-        for y0 in ys:
-            for x0 in xs:
-                tile = image[:, y0 : y0 + wh, x0 : x0 + ww]
-                logits = model(Tensor(tile[None].astype(np.float32)))
-                out = logits.data[0].astype(np.float64)
-                if acc is None:
-                    k = out.shape[0] if num_classes is None else num_classes
-                    acc = np.zeros((k, h, w))
-                acc[:, y0 : y0 + wh, x0 : x0 + ww] += out * weight_2d
-                weight_acc[y0 : y0 + wh, x0 : x0 + ww] += weight_2d
-    model.train(True)
-    if acc is None:
-        raise RuntimeError("no tiles generated")
-    return (acc / np.maximum(weight_acc, 1e-12)).astype(np.float32)
+    tiles = [image[:, y0: y0 + wh, x0: x0 + ww] for y0 in ys for x0 in xs]
+    outs = forward_windows(model, tiles, batch_size=batch_size, cache=cache)
+    return blend_windows(outs, ys, xs, (h, w), (wh, ww),
+                         num_classes=num_classes)
 
 
 def predict_tiled(model: Module, image: np.ndarray,

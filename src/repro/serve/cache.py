@@ -1,0 +1,108 @@
+"""Content-keyed LRU tile cache over sliding-window logits.
+
+Climate snapshots arrive with heavy spatial and temporal redundancy — the
+same basin gets re-segmented as analysts pan across a timestep, and bulk
+re-scoring repeats whole snapshots.  Since tiled inference decomposes
+every request into fixed-size windows, caching *per-window logits* keyed
+on window **content** lets overlapping or repeated regions skip the model
+forward entirely, across requests and across replicas (all replicas share
+one cache because they share identical weights).
+
+Keys are SHA-1 of the raw window bytes plus shape/dtype plus the pool's
+``model_key``, so a weight change (new ``model_key``) invalidates
+everything and two numerically identical windows from different requests
+collide — which is exactly the point.  The budget is in *bytes* of stored
+logits, evicting least-recently-used entries; an entry larger than the
+whole budget is simply not stored.
+"""
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "TileCache"]
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters for one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stored_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "stored_bytes": self.stored_bytes,
+                "hit_rate": self.hit_rate}
+
+
+class TileCache:
+    """Byte-budgeted LRU of per-window logit blocks.
+
+    Satisfies the duck type :func:`repro.core.inference.forward_windows`
+    consults: ``key(tile)``, ``get(key)``, ``put(key, value)``.
+    """
+
+    def __init__(self, budget_bytes: int, model_key: str = ""):
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self.budget_bytes = int(budget_bytes)
+        self.model_key = str(model_key)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keying ------------------------------------------------------------
+
+    def key(self, tile: np.ndarray) -> str:
+        """Content key: window bytes + shape + dtype + model version."""
+        h = hashlib.sha1()
+        h.update(self.model_key.encode())
+        h.update(str(tile.shape).encode())
+        h.update(str(tile.dtype).encode())
+        h.update(np.ascontiguousarray(tile).tobytes())
+        return h.hexdigest()
+
+    # -- lookup / insert ---------------------------------------------------
+
+    def get(self, key: str) -> np.ndarray | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, value: np.ndarray) -> None:
+        if value.nbytes > self.budget_bytes:
+            return                  # would evict the whole cache for nothing
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.stored_bytes -= old.nbytes
+        self._entries[key] = value
+        self.stats.stored_bytes += value.nbytes
+        while self.stats.stored_bytes > self.budget_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.stored_bytes -= evicted.nbytes
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.stored_bytes = 0

@@ -1,0 +1,64 @@
+"""Request/response records for the inference service.
+
+A request is one (C, H, W) climate snapshot to segment; the server's
+answer is the argmax class map from seam-free tiled inference
+(:mod:`repro.core.inference`).  Every offered request gets exactly one
+response — ``served`` with a class map, ``shed`` by admission control, or
+``failed`` when no live replica remains — so callers can audit that no
+admitted request was ever lost (the resilience acceptance invariant).
+
+Timestamps are seconds on the server's clock (a
+:class:`repro.telemetry.SimulatedClock` in tests and the CLI, so queueing
+and batching dynamics are deterministic and virtual-time latencies are
+exact).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DEFAULT_LANES", "InferenceRequest", "InferenceResponse"]
+
+#: Priority lanes, highest priority first: interactive requests are
+#: batched ahead of bulk backfill traffic.
+DEFAULT_LANES = ("interactive", "bulk")
+
+
+@dataclass
+class InferenceRequest:
+    """One snapshot to segment, with its arrival metadata."""
+
+    request_id: int
+    image: np.ndarray               # (C, H, W) float32 snapshot
+    lane: str = "interactive"
+    arrival_s: float = 0.0          # offered time on the server clock
+    enqueued_s: float | None = None  # set on admission
+
+    def __post_init__(self):
+        if self.image.ndim != 3:
+            raise ValueError(
+                f"request image must be (C, H, W); got {self.image.shape}")
+
+
+@dataclass
+class InferenceResponse:
+    """The terminal outcome of one request."""
+
+    request_id: int
+    lane: str
+    status: str                     # "served" | "shed" | "failed"
+    arrival_s: float
+    completed_s: float | None = None
+    replica_id: int | None = None   # survivor that computed the answer
+    batch_size: int = 0             # size of the micro-batch it rode in
+    class_map: np.ndarray | None = field(default=None, repr=False)
+    shed_reason: str | None = None  # "queue_full" | "slo" when shed
+    error: str | None = None        # exception repr when failed
+
+    @property
+    def latency_s(self) -> float | None:
+        """Admission-to-completion latency (None unless served)."""
+        if self.completed_s is None:
+            return None
+        return self.completed_s - self.arrival_s

@@ -84,6 +84,97 @@ class TestRoundTrip:
         assert report.exit_code == 0 and report.baselined_count == 2
 
 
+class TestPrune:
+    def test_round_trip_drops_fixed_entries_only(self, tmp_path):
+        # Two findings accepted; one gets fixed; prune removes exactly it.
+        p = write(tmp_path, "legacy.py", """\
+            import numpy as np
+            y = np.random.rand(3)
+
+            def half(x):
+                return x.astype(np.float16)
+            """)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        assert len(json.loads(baseline.read_text())["entries"]) == 2
+        p.write_text(p.read_text().replace(
+            "y = np.random.rand(3)",
+            "y = np.random.default_rng(0).random(3)"))
+        report = run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                          prune_baseline=True)
+        assert report.exit_code == 0
+        assert [e["rule"] for e in report.pruned_entries] == ["RPR003"]
+        doc = json.loads(baseline.read_text())
+        assert [e["rule"] for e in doc["entries"]] == ["RPR006"]
+        # Round trip: a second prune is a no-op and still gates clean.
+        again = run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                         prune_baseline=True)
+        assert again.pruned_entries == []
+        assert again.exit_code == 0 and again.baselined_count == 1
+
+    def test_prune_never_accepts_new_findings(self, tmp_path):
+        write(tmp_path, "legacy.py", LEGACY)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        write(tmp_path, "fresh.py", """\
+            import numpy as np
+            y = np.random.rand(3)
+            """)
+        report = run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                          prune_baseline=True)
+        assert report.exit_code == 1        # new finding still gates
+        assert report.pruned_entries == []
+        doc = json.loads(baseline.read_text())
+        assert [e["rule"] for e in doc["entries"]] == ["RPR006"]
+
+    def test_prune_is_multiset_aware(self, tmp_path):
+        p = write(tmp_path, "legacy.py", """\
+            import numpy as np
+
+            def half(x):
+                return x.astype(np.float16)
+
+            def half2(x):
+                return x.astype(np.float16)
+            """)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        # Fix one of the two identical lines: exactly one entry survives.
+        p.write_text(p.read_text().replace(
+            "def half2(x):\n    return x.astype(np.float16)",
+            "def half2(x):\n    return x"))
+        report = run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                          prune_baseline=True)
+        assert len(report.pruned_entries) == 1
+        assert len(json.loads(baseline.read_text())["entries"]) == 1
+        assert report.exit_code == 0
+
+    def test_prune_untouched_file_when_nothing_stale(self, tmp_path):
+        write(tmp_path, "legacy.py", LEGACY)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                 update_baseline=True)
+        before = baseline.read_text()
+        report = run_lint([tmp_path], root=tmp_path, baseline_path=baseline,
+                          prune_baseline=True)
+        assert report.pruned_entries == []
+        assert baseline.read_text() == before
+
+    def test_prune_api_returns_kept_and_removed(self):
+        entries = [
+            {"rule": "RPR006", "path": "a.py", "line": 3,
+             "text": "return x.astype(np.float16)"},
+            {"rule": "RPR003", "path": "a.py", "line": 1,
+             "text": "y = np.random.rand(3)"},
+        ]
+        baseline = Baseline(entries)
+        kept, removed = baseline.prune([])
+        assert len(kept) == 0 and removed == entries
+
+
 class TestBaselineFile:
     def test_missing_file_is_empty(self, tmp_path):
         b = Baseline.load(tmp_path / "absent.json")

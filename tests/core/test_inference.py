@@ -3,6 +3,8 @@ import numpy as np
 import pytest
 
 from repro.core.inference import (
+    blend_windows,
+    forward_windows,
     predict_tiled,
     sliding_window_logits,
     tent_window,
@@ -119,3 +121,135 @@ class TestSlidingWindow:
         preds = predict_tiled(net, image, (16, 16), (8, 8))
         assert preds.shape == (24, 32)
         assert preds.min() >= 0 and preds.max() < 3
+
+
+class TestBatchedForward:
+    """batch_size stacks windows per model call without changing results."""
+
+    def test_elementwise_model_batched_is_bitwise_identical(self):
+        image = np.random.default_rng(3).normal(
+            size=(1, 20, 20)).astype(np.float32)
+        single = sliding_window_logits(MeanModel(), image, (8, 8), (4, 4),
+                                       batch_size=1)
+        batched = sliding_window_logits(MeanModel(), image, (8, 8), (4, 4),
+                                        batch_size=8)
+        np.testing.assert_array_equal(batched, single)
+
+    def test_conv_network_batched_matches_unbatched(self):
+        from repro.core.networks import Tiramisu, TiramisuConfig
+        net = Tiramisu(TiramisuConfig(in_channels=2, base_filters=8, growth=4,
+                                      down_layers=(2,), bottleneck_layers=2,
+                                      kernel=3, dropout=0.0),
+                       rng=np.random.default_rng(4))
+        image = np.random.default_rng(5).normal(
+            size=(2, 16, 16)).astype(np.float32)
+        single = sliding_window_logits(net, image, (8, 8), (4, 4),
+                                       batch_size=1)
+        batched = sliding_window_logits(net, image, (8, 8), (4, 4),
+                                        batch_size=16)
+        # Stacking reassociates BLAS reductions; equality is to float
+        # tolerance, not bitwise.
+        np.testing.assert_allclose(batched, single, rtol=1e-4, atol=1e-5)
+
+    def test_partial_final_chunk(self):
+        image = np.random.default_rng(6).normal(
+            size=(1, 16, 16)).astype(np.float32)
+        # 9 windows with batch_size 4: chunks of 4, 4, 1.
+        out = sliding_window_logits(MeanModel(), image, (8, 8), (4, 4),
+                                    batch_size=4)
+        np.testing.assert_allclose(out[0], image[0], rtol=1e-4, atol=1e-5)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            forward_windows(MeanModel(), [np.zeros((1, 4, 4), np.float32)],
+                            batch_size=0)
+
+    def test_cache_short_circuits_repeat_windows(self):
+        class CountingCache:
+            def __init__(self):
+                self.store = {}
+                self.puts = 0
+
+            def key(self, tile):
+                return tile.tobytes()
+
+            def get(self, key):
+                return self.store.get(key)
+
+            def put(self, key, value):
+                self.puts += 1
+                self.store[key] = value
+
+        class CountingModel(MeanModel):
+            calls = 0
+
+            def forward(self, x):
+                CountingModel.calls += x.data.shape[0]
+                return super().forward(x)
+
+        cache = CountingCache()
+        image = np.random.default_rng(11).normal(
+            size=(1, 16, 16)).astype(np.float32)
+        first = sliding_window_logits(CountingModel(), image, (8, 8), (4, 4),
+                                      batch_size=4, cache=cache)
+        calls_after_first = CountingModel.calls
+        assert calls_after_first == 9       # all 9 windows miss cold
+        # The repeat image is served entirely from the cache: zero forwards.
+        second = sliding_window_logits(CountingModel(), image, (8, 8), (4, 4),
+                                       batch_size=4, cache=cache)
+        assert CountingModel.calls == calls_after_first
+        np.testing.assert_array_equal(first, second)
+        assert cache.puts == 9
+
+
+class TestTilingEdgeCases:
+    """window == extent, stride == window, and 1x1 windows."""
+
+    def test_window_equals_extent_single_tile(self):
+        image = np.random.default_rng(7).normal(
+            size=(1, 12, 12)).astype(np.float32)
+        out = sliding_window_logits(MeanModel(), image, (12, 12), (12, 12))
+        np.testing.assert_allclose(out[0], image[0], rtol=1e-5)
+
+    def test_stride_equals_window_no_overlap(self):
+        # Non-overlapping tiling: tent weights cancel out per tile, so the
+        # pass-through model must reproduce the image exactly.
+        image = np.random.default_rng(8).normal(
+            size=(1, 16, 16)).astype(np.float32)
+        out = sliding_window_logits(MeanModel(), image, (4, 4), (4, 4))
+        np.testing.assert_allclose(out[0], image[0], rtol=1e-4, atol=1e-6)
+
+    def test_stride_equals_window_with_flush_right_remainder(self):
+        # 10 with window 4, stride 4 -> positions [0, 4, 6]: the flush-right
+        # tile overlaps; blending must still pass values through.
+        image = np.random.default_rng(9).normal(
+            size=(1, 10, 10)).astype(np.float32)
+        out = sliding_window_logits(MeanModel(), image, (4, 4), (4, 4))
+        np.testing.assert_allclose(out[0], image[0], rtol=1e-4, atol=1e-6)
+
+    def test_window_one_by_one(self):
+        assert tile_positions(3, 1, 1) == [0, 1, 2]
+        np.testing.assert_array_equal(tent_window(1), [1.0])
+        image = np.random.default_rng(10).normal(
+            size=(1, 3, 3)).astype(np.float32)
+        out = sliding_window_logits(MeanModel(), image, (1, 1), (1, 1))
+        np.testing.assert_allclose(out[0], image[0], rtol=1e-6)
+
+    def test_constant_logits_invariant_under_any_tiling(self):
+        # The seam-free invariant: a constant-logit model yields exactly
+        # constant output for every window/stride combination, including
+        # the degenerate ones.
+        model = ConstantModel((1.5, -0.25, 0.75))
+        image = np.zeros((2, 11, 13), np.float32)
+        for window, stride in (((11, 13), (11, 13)), ((4, 4), (4, 4)),
+                               ((1, 1), (1, 1)), ((5, 7), (2, 3)),
+                               ((8, 8), (3, 5))):
+            logits = sliding_window_logits(model, image, window, stride)
+            assert logits.shape == (3, 11, 13)
+            for k, v in enumerate((1.5, -0.25, 0.75)):
+                np.testing.assert_allclose(logits[k], v, rtol=1e-5,
+                                           err_msg=f"{window}/{stride}")
+
+    def test_blend_windows_empty_rejected(self):
+        with pytest.raises(RuntimeError):
+            blend_windows([], [], [], (4, 4), (2, 2))

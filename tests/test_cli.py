@@ -158,3 +158,65 @@ class TestLintCli:
         for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
                         "RPR006", "RPR007"):
             assert rule_id in out
+
+    def test_prune_baseline_drops_fixed_debt(self, capsys, tmp_path,
+                                             monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "legacy.py"
+        bad.write_text("import numpy as np\ny = np.random.rand(3)\n")
+        assert main(["lint", "--update-baseline", str(bad)]) == 0
+        capsys.readouterr()
+        bad.write_text("import numpy as np\n"
+                       "y = np.random.default_rng(0).random(3)\n")
+        assert main(["lint", "--prune-baseline", str(bad)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline pruned: 1 stale entry removed" in out
+        doc = json.loads((tmp_path / ".repro-lint-baseline.json").read_text())
+        assert doc["entries"] == []
+
+
+class TestServeCli:
+    """The serving drill end-to-end through the CLI entry point."""
+
+    def test_serve_table_output(self, capsys):
+        assert main(["serve", "--requests", "12", "--rate", "500",
+                     "--replicas", "2", "--service-ms", "0.5",
+                     "--channels", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving drill" in out
+        assert "lost admitted" in out
+        assert "p50/p99" in out
+        assert "cache hit rate" in out
+
+    def test_serve_json_fault_run_loses_nothing(self, capsys, tmp_path):
+        import json
+
+        assert main(["serve", "--requests", "16", "--rate", "1000",
+                     "--replicas", "2", "--service-ms", "0.5",
+                     "--channels", "2", "--seed", "2",
+                     "--plan", "rank_fail@1:rank=1",
+                     "--json", "--out", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["offered"] == 16
+        assert doc["lost_admitted"] == 0
+        assert doc["replica_failures"] == 1
+        assert doc["alive_replicas"] == [0]
+        assert (tmp_path / "trace.json").exists()
+
+    def test_serve_overload_sheds(self, capsys):
+        assert main(["serve", "--requests", "64", "--rate", "50000",
+                     "--replicas", "1", "--service-ms", "2.0",
+                     "--max-depth", "4", "--channels", "2",
+                     "--json"]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["shed"] > 0
+        assert doc["shed_by_reason"].get("queue_full", 0) > 0
+        assert doc["lost_admitted"] == 0
+
+    def test_serve_validates_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--requests", "0"])

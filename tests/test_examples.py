@@ -59,6 +59,13 @@ class TestExamples:
         assert "storms planted" in out
         assert "Basin summary" in out
 
+    def test_serving(self):
+        out = run_example("serving.py")
+        assert "served 48/48" in out
+        assert "cache hit rate" in out
+        assert "replica failures: 1" in out
+        assert "No admitted request lost." in out
+
     def test_model_parallel(self):
         out = run_example("model_parallel.py")
         assert "max abs error" in out
