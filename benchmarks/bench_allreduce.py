@@ -75,3 +75,31 @@ def test_cost_model_comparison(benchmark, emit):
     _, _, flat_ring, flat_tree, hybrid = rows[-1]
     assert hybrid < flat_tree
     assert hybrid < flat_ring
+
+
+def collect(profile: str = "quick"):
+    """Machine-readable metrics for the ``allreduce`` suite.
+
+    Cost-model outputs are deterministic functions of the Summit machine
+    description, so they gate with a tight band: any drift means the model
+    itself changed.
+    """
+    from runner import Metric
+
+    nodes = 4560
+    flat_ring = ring_allreduce_time(nodes * 6, GRAD_BYTES, SUMMIT.interconnect)
+    flat_tree = tree_allreduce_time(nodes * 6, GRAD_BYTES, SUMMIT.interconnect)
+    hybrid = hierarchical_allreduce_time(
+        nodes, GRAD_BYTES, SUMMIT.node.nvlink, SUMMIT.interconnect,
+        gpus_per_node=6, parallel_devices=4)
+    return [
+        Metric(name="allreduce.hybrid_time_s", value=hybrid, unit="s",
+               higher_is_better=False, gate=True, tolerance=0.001,
+               note="deterministic cost model, 4560 Summit nodes"),
+        Metric(name="allreduce.hybrid_vs_ring_speedup",
+               value=flat_ring / hybrid, unit="x",
+               higher_is_better=True, gate=True, tolerance=0.001),
+        Metric(name="allreduce.hybrid_vs_tree_speedup",
+               value=flat_tree / hybrid, unit="x",
+               higher_is_better=True, gate=True, tolerance=0.001),
+    ]

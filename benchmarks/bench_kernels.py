@@ -1,0 +1,164 @@
+"""Conv hot-path kernels: planned im2col-GEMM vs the legacy tap-loop.
+
+The claim under test: lowering convolutions to a cached
+:class:`~repro.framework.ops.plan.ConvPlan` (``as_strided`` im2col into a
+reusable workspace + one batched GEMM) buys >= 2x forward throughput over
+the legacy per-tap contraction on the paper's 16-channel 192x288 training
+tiles, with the weight/input gradients riding the same cached columns.
+
+``collect(profile)`` feeds the machine-readable protocol
+(:mod:`runner` / ``repro bench``): speedup *ratios* are gated — they
+transfer across machines — while absolute milliseconds are recorded
+``gate=False`` as host-specific context.
+"""
+import numpy as np
+import pytest
+
+from repro.framework.ops import (
+    clear_plan_cache,
+    conv2d_backward_input,
+    conv2d_backward_input_reference,
+    conv2d_backward_weight,
+    conv2d_backward_weight_reference,
+    conv2d_bias_relu_forward,
+    conv2d_forward,
+    conv2d_forward_reference,
+    conv_output_size,
+    depthwise_conv2d_forward,
+    depthwise_conv2d_forward_reference,
+)
+from repro.perf import format_table
+
+# Paper-scale training tile: 1152x768 split 6x across H and 4x across W
+# keeps the per-sample aspect while fitting CI budgets.  64 filters is the
+# stem width the paper's networks map their 16 input channels onto.
+SHAPE = (2, 16, 192, 288)
+FILTERS = 64
+KERNEL = 3
+PAD = 1
+
+#: profile -> (timing repeats, warmup runs)
+PROFILES = {"smoke": (2, 1), "quick": (3, 1), "full": (7, 2)}
+
+
+def _problem(rng, shape=SHAPE, filters=FILTERS, kernel=KERNEL):
+    n, c, h, w = shape
+    x = rng.standard_normal(shape).astype(np.float32)
+    w_ = (rng.standard_normal((filters, c, kernel, kernel)) * 0.1).astype(np.float32)
+    oh = conv_output_size(h, kernel, 1, PAD, 1)
+    ow = conv_output_size(w, kernel, 1, PAD, 1)
+    g = rng.standard_normal((n, filters, oh, ow)).astype(np.float32)
+    return x, w_, g
+
+
+def _speedups(profile: str = "quick", shape=SHAPE):
+    """Paired planned-vs-reference times on the headline shape.
+
+    Samples alternate strictly (planned, reference, planned, ...) so both
+    sides see identical machine state; the speedup ratio uses the minimum
+    of each side, the robust estimator on shared hosts.
+    """
+    from runner import paired_stats  # sibling module; dir is on sys.path
+
+    repeats, warmup = PROFILES[profile]
+    rng = np.random.default_rng(0)
+    x, w, g = _problem(rng, shape)
+    bias = rng.standard_normal(w.shape[0]).astype(np.float32)
+    xdw = rng.standard_normal((shape[0], shape[1], shape[2], shape[3])
+                              ).astype(np.float32)
+    wdw = (rng.standard_normal((shape[1], KERNEL, KERNEL)) * 0.1
+           ).astype(np.float32)
+    clear_plan_cache()
+    out = {}
+    cases = {
+        "fwd": (lambda: conv2d_forward(x, w, 1, PAD, 1),
+                lambda: conv2d_forward_reference(x, w, 1, PAD, 1)),
+        "wgrad": (lambda: conv2d_backward_weight(g, x, w.shape, 1, PAD, 1),
+                  lambda: conv2d_backward_weight_reference(
+                      g, x, w.shape, 1, PAD, 1)),
+        "dgrad": (lambda: conv2d_backward_input(g, w, x.shape, 1, PAD, 1),
+                  lambda: conv2d_backward_input_reference(
+                      g, w, x.shape, 1, PAD, 1)),
+        "depthwise_fwd": (lambda: depthwise_conv2d_forward(xdw, wdw, 1, PAD, 1),
+                          lambda: depthwise_conv2d_forward_reference(
+                              xdw, wdw, 1, PAD, 1)),
+        "fused_fwd": (
+            lambda: conv2d_bias_relu_forward(x, w, bias, 1, PAD, 1),
+            lambda: np.maximum(
+                conv2d_forward(x, w, 1, PAD, 1)
+                + bias.reshape(1, -1, 1, 1), 0.0),
+        ),
+    }
+    for name, (planned, reference) in cases.items():
+        pstats, rstats = paired_stats(planned, reference,
+                                      repeats=repeats, warmup=warmup)
+        out[name] = {"planned": pstats, "reference": rstats}
+    return out
+
+
+def _ratio(stats: dict) -> float:
+    return stats["reference"]["min_s"] / stats["planned"]["min_s"]
+
+
+def collect(profile: str = "quick"):
+    """Machine-readable metrics for the ``kernels`` suite."""
+    from runner import Metric
+
+    shape = (1, 8, 48, 64) if profile == "smoke" else SHAPE
+    stats = _speedups(profile, shape)
+    band = {"fwd": 0.35, "wgrad": 0.35, "dgrad": 0.40, "depthwise_fwd": 0.40}
+    metrics = []
+    for name, st in stats.items():
+        planned = st["planned"]
+        metrics.append(Metric(
+            name=f"kernels.conv_{name}_speedup",
+            value=_ratio(st), unit="x", higher_is_better=True,
+            # The fused-epilogue win is real but small; ratios of two
+            # nearly-equal GEMM times are too noisy to gate on.
+            gate=name != "fused_fwd",
+            tolerance=band.get(name),
+            note=f"planned vs reference, shape {shape}"))
+        metrics.append(Metric(
+            name=f"kernels.conv_{name}_planned_ms",
+            value=planned["median_s"] * 1e3, unit="ms",
+            higher_is_better=False, gate=False,
+            ci68=[planned["ci68_s"][0] * 1e3, planned["ci68_s"][1] * 1e3]))
+    return metrics
+
+
+def test_planned_conv_speedup(benchmark, emit):
+    """Acceptance: >= 2x planned-vs-legacy forward on the headline shape."""
+    stats = benchmark.pedantic(lambda: _speedups("quick"), rounds=1,
+                               iterations=1)
+    rows = []
+    for name, st in stats.items():
+        rows.append([name,
+                     f"{st['reference']['median_s'] * 1e3:.2f}",
+                     f"{st['planned']['median_s'] * 1e3:.2f}",
+                     f"{_ratio(st):.2f}x"])
+    emit(format_table(
+        ["kernel", "reference ms", "planned ms", "speedup"], rows,
+        title=f"Planned im2col-GEMM vs legacy tap-loop, shape {SHAPE}"))
+    assert _ratio(stats["fwd"]) >= 2.0, "forward conv speedup below 2x"
+    assert _ratio(stats["wgrad"]) >= 1.2, "wgrad slower than legacy"
+    assert _ratio(stats["dgrad"]) >= 1.0, "dgrad slower than legacy"
+
+
+def test_planned_matches_reference(benchmark):
+    """The timed kernels agree numerically before we trust the timings."""
+    def run():
+        rng = np.random.default_rng(1)
+        x, w, g = _problem(rng, (1, 4, 24, 32), filters=6)
+        out = {
+            "fwd": (conv2d_forward(x, w, 1, PAD, 1),
+                    conv2d_forward_reference(x, w, 1, PAD, 1)),
+            "wgrad": (conv2d_backward_weight(g, x, w.shape, 1, PAD, 1),
+                      conv2d_backward_weight_reference(g, x, w.shape, 1, PAD, 1)),
+            "dgrad": (conv2d_backward_input(g, w, x.shape, 1, PAD, 1),
+                      conv2d_backward_input_reference(g, w, x.shape, 1, PAD, 1)),
+        }
+        return {k: float(np.abs(a - b).max()) for k, (a, b) in out.items()}
+
+    errs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, err in errs.items():
+        assert err < 1e-4, (name, err)

@@ -123,3 +123,29 @@ def test_cache_warm_repeat_traffic(benchmark, emit):
     # model size content-hashing costs rival the saved forwards.)
     assert warm_misses == 0
     assert warm_rate == pytest.approx(1.0)
+
+
+def collect(profile: str = "quick"):
+    """Machine-readable metrics for the ``serving`` suite.
+
+    The gated metric is the micro-batching speedup *ratio* (both sides run
+    on the same host in the same process); absolute requests/s and the
+    cache hit rate are context.
+    """
+    from runner import Metric
+
+    results = {name: serve_mode(**knobs) for name, knobs in MODES.items()}
+    base, _ = results["per-request"]
+    fast, hit_rate = results["micro-batch 8"]
+    return [
+        Metric(name="serving.micro_batch_speedup",
+               value=fast.throughput_rps / base.throughput_rps, unit="x",
+               higher_is_better=True, gate=True, tolerance=0.40,
+               note="micro-batch 8 vs per-request, 64 requests, 1 replica"),
+        Metric(name="serving.micro_batch_rps", value=fast.throughput_rps,
+               unit="req/s", higher_is_better=True, gate=False),
+        Metric(name="serving.mean_batch_size", value=fast.mean_batch_size,
+               unit="req", higher_is_better=True, gate=True, tolerance=0.40),
+        Metric(name="serving.cache_hit_rate", value=hit_rate, unit="",
+               higher_is_better=True, gate=False),
+    ]

@@ -17,6 +17,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 
@@ -485,6 +486,37 @@ def _cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _cmd_bench(args) -> int:
+    """Run benchmark suites through the machine-readable protocol.
+
+    Wraps ``benchmarks/runner.py``: runs each suite's ``collect(profile)``,
+    writes ``BENCH_<tag>.json`` under ``--out``, and — with ``--against`` —
+    gates the result against a baseline report, exiting 1 when any gated
+    metric regresses past its tolerance band.  This is the CI perf gate.
+    """
+    import importlib.util
+    import pathlib
+
+    bench_dir = pathlib.Path(args.bench_dir).resolve()
+    runner_path = bench_dir / "runner.py"
+    if not runner_path.exists():
+        print(f"error: no benchmark runner at {runner_path}", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location("runner", runner_path)
+    runner = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("runner", runner)
+    spec.loader.exec_module(runner)
+
+    argv = ["--suite", args.suite, "--profile", args.profile,
+            "--tag", args.tag, "--out", args.out or str(bench_dir / "out"),
+            "--tolerance", str(args.tolerance)]
+    if args.against:
+        argv += ["--against", args.against]
+    if args.json:
+        argv += ["--json"]
+    return runner.main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate experiments from the paper")
@@ -623,6 +655,29 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--rules", action="store_true",
                     help="print the rule catalog and exit")
     pl.set_defaults(fn=_cmd_lint)
+
+    pb = sub.add_parser(
+        "bench",
+        help="run benchmark suites, emit BENCH_<tag>.json, gate vs baseline")
+    pb.add_argument("--suite", default="kernels,serving,allreduce",
+                    help="comma-separated suite names (bench_<name>.py)")
+    pb.add_argument("--profile", default="quick",
+                    choices=["smoke", "quick", "full"])
+    pb.add_argument("--tag", default="head",
+                    help="report tag: output file is BENCH_<tag>.json")
+    pb.add_argument("--out", default=None,
+                    help="output directory (default: <bench-dir>/out)")
+    pb.add_argument("--against", default=None, metavar="BASELINE_JSON",
+                    help="gate against this baseline; exit 1 on regression")
+    pb.add_argument("--tolerance", type=float, default=0.15,
+                    help="default tolerance band for gated metrics")
+    pb.add_argument("--bench-dir",
+                    default=str(pathlib.Path(__file__).resolve().parents[2]
+                                / "benchmarks"),
+                    help="directory holding runner.py and bench_*.py")
+    pb.add_argument("--json", action="store_true",
+                    help="print the full report JSON to stdout")
+    pb.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -59,8 +59,8 @@ def forward_windows(model: Module, tiles: list[np.ndarray],
     ``key(tile)``, ``get(key)``, and ``put(key, value)``; tiles whose
     content key hits skip the forward entirely, and every computed logit
     block is stored back.  The model is run in eval mode under
-    :func:`~repro.framework.no_grad` and restored to train mode, matching
-    the historical single-window behaviour.
+    :func:`~repro.framework.no_grad` and restored to whatever mode it was
+    in before the call (frozen models stay in eval regardless).
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
@@ -77,6 +77,7 @@ def forward_windows(model: Module, tiles: list[np.ndarray],
                 misses.append(i)
     else:
         misses = list(range(len(tiles)))
+    was_training = model.training
     model.train(False)
     with no_grad():
         for at in range(0, len(misses), batch_size):
@@ -87,7 +88,7 @@ def forward_windows(model: Module, tiles: list[np.ndarray],
                 outs[i] = logits[j]
                 if cache is not None:
                     cache.put(keys[i], logits[j])
-    model.train(True)
+    model.train(was_training)
     return outs  # type: ignore[return-value]
 
 

@@ -4,7 +4,9 @@ from __future__ import annotations
 import numpy as np
 
 from ...framework import functional as F
+from ...framework.fusion import FusedConvBiasReLU, FusedScaleShiftReLU
 from ...framework.layers import (
+    Identity,
     BatchNorm2D,
     Conv2D,
     ConvTranspose2D,
@@ -41,6 +43,13 @@ class ConvBNReLU(Module):
     def forward(self, x):
         return self.act(self.bn(self.conv(x)))
 
+    def fuse_inference(self) -> int:
+        """Fold the BN into the conv; the ReLU rides the fused epilogue."""
+        self.conv = FusedConvBiasReLU.from_conv_bn(self.conv, self.bn, relu=True)
+        self.bn = Identity()
+        self.act = Identity()
+        return 1
+
 
 class DenseLayer(Module):
     """One Tiramisu dense layer: BN -> ReLU -> Conv(k) -> Dropout.
@@ -63,6 +72,13 @@ class DenseLayer(Module):
 
     def forward(self, x):
         return self.drop(self.conv(self.act(self.bn(x))))
+
+    def fuse_inference(self) -> int:
+        """Pre-activation BN -> ReLU cannot fold across the conv's padding;
+        it becomes one fused scale-shift-ReLU pass instead."""
+        self.bn = FusedScaleShiftReLU.from_bn(self.bn, relu=True)
+        self.act = Identity()
+        return 1
 
 
 class DenseBlock(Module):
@@ -116,6 +132,11 @@ class TransitionDown(Module):
 
     def forward(self, x):
         return self.pool(self.drop(self.conv(self.act(self.bn(x)))))
+
+    def fuse_inference(self) -> int:
+        self.bn = FusedScaleShiftReLU.from_bn(self.bn, relu=True)
+        self.act = Identity()
+        return 1
 
 
 class TransitionUp(Module):
@@ -174,3 +195,21 @@ class Bottleneck(Module):
         else:
             shortcut = x
         return F.relu(F.add(out, shortcut))
+
+    def fuse_inference(self) -> int:
+        """Fold every conv -> BN pair; branch-tail convs keep relu=False
+        because the ReLU lands after the residual add."""
+        self.conv1 = FusedConvBiasReLU.from_conv_bn(self.conv1, self.bn1, relu=True)
+        self.conv2 = FusedConvBiasReLU.from_conv_bn(self.conv2, self.bn2, relu=True)
+        self.conv3 = FusedConvBiasReLU.from_conv_bn(self.conv3, self.bn3, relu=False)
+        self.bn1 = Identity()
+        self.bn2 = Identity()
+        self.bn3 = Identity()
+        self.act = Identity()
+        fused = 3
+        if self.proj_conv is not None:
+            self.proj_conv = FusedConvBiasReLU.from_conv_bn(
+                self.proj_conv, self.proj_bn, relu=False)
+            self.proj_bn = Identity()
+            fused += 1
+        return fused

@@ -6,7 +6,9 @@ mixed-precision emulation, and symbolic graph tracing for the paper's
 FLOP-counting methodology.
 """
 from . import functional, init, layers, ops
+from . import fusion
 from .dtypes import Precision
+from .fusion import FusedConvBiasReLU, FusedScaleShiftReLU, fold_bn_into_conv, freeze
 from .graph import CATEGORIES, GraphAnalysis, GraphTracer, KernelRecord, ShapeProbe
 from .losses import softmax, softmax_probs, weighted_cross_entropy
 from .module import Identity, Module, Sequential
@@ -35,6 +37,11 @@ __all__ = [
     "concatenate",
     "stack",
     "no_grad",
+    "fusion",
+    "freeze",
+    "fold_bn_into_conv",
+    "FusedConvBiasReLU",
+    "FusedScaleShiftReLU",
     "functional",
     "layers",
     "ops",

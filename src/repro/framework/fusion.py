@@ -1,0 +1,226 @@
+"""Inference-graph fusion: BatchNorm folding and fused epilogue modules.
+
+At inference time BatchNorm is a fixed per-channel affine (its statistics
+are frozen), so the graph can be rewritten before serving:
+
+* Conv -> BN (-> ReLU) collapses into a single convolution with rescaled
+  weights and a bias, executed by the fused conv+bias+ReLU kernel
+  (:func:`repro.framework.ops.fused.conv2d_bias_relu_forward`) — the cuDNN
+  ``ConvolutionBiasActivationForward`` pattern the paper's inference path
+  relies on;
+* BN -> ReLU chains that *precede* a convolution (Tiramisu's
+  pre-activation dense layers) cannot be folded across the conv's padding,
+  so they become one fused per-channel scale-shift-ReLU pass instead.
+
+The rewrite is **opt-in and non-destructive**: :func:`freeze` deep-copies
+the model, fuses the copy in place, and marks it ``_frozen`` so it can
+never be flipped back into training mode.  The original model — including
+its ``analyze()`` kernel inventory, which the Section-VI FLOP methodology
+depends on — is untouched.  Composites opt in by defining a
+``fuse_inference()`` hook that mutates their own attributes (never their
+identity, so plain-list references like ``DenseBlock.layers_list`` stay
+valid); bare ``Sequential`` chains are pattern-matched automatically.
+"""
+from __future__ import annotations
+
+from copy import deepcopy
+
+import numpy as np
+
+from .graph import ShapeProbe
+from .layers.activation import ReLU
+from .layers.conv import Conv2D
+from .layers.norm import BatchNorm2D
+from .module import Identity, Module, Sequential
+from .ops.conv import conv2d_flops, conv_output_size
+from .ops.fused import conv2d_bias_relu_forward, scale_shift_relu
+from .tensor import Tensor
+
+__all__ = [
+    "bn_scale_shift",
+    "fold_bn_into_conv",
+    "FusedConvBiasReLU",
+    "FusedScaleShiftReLU",
+    "fuse_sequential",
+    "freeze",
+]
+
+
+def bn_scale_shift(bn: BatchNorm2D) -> tuple[np.ndarray, np.ndarray]:
+    """The (scale, shift) float32 pair equal to ``bn`` in inference mode.
+
+    ``bn(x) == scale * x + shift`` per channel, using the frozen running
+    statistics.
+    """
+    inv_std = 1.0 / np.sqrt(bn.running_var.astype(np.float64) + bn.eps)
+    gamma = bn.gamma.master_value().astype(np.float64)
+    beta = bn.beta.master_value().astype(np.float64)
+    scale = gamma * inv_std
+    shift = beta - scale * bn.running_mean.astype(np.float64)
+    return scale.astype(np.float32), shift.astype(np.float32)
+
+
+def fold_bn_into_conv(conv: Conv2D, bn: BatchNorm2D
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Fold ``conv -> bn`` into one ``(weight, bias)`` pair.
+
+    ``bn(conv(x)) == conv'(x) + bias'`` exactly, because BN at inference is
+    a per-output-channel affine applied *after* the convolution.  Folding
+    runs in float64 and returns the weight in the conv's working dtype and
+    the bias in float32 (bias adds happen in the GEMM accumulation buffer).
+    """
+    scale, shift = bn_scale_shift(bn)
+    w = conv.weight.master_value().astype(np.float64)
+    w = w * scale.astype(np.float64)[:, None, None, None]
+    bias = shift.astype(np.float64).copy()
+    if conv.bias is not None:
+        bias += scale.astype(np.float64) * conv.bias.master_value()
+    return (w.astype(conv.weight.data.dtype, copy=False),
+            bias.astype(np.float32))
+
+
+class FusedConvBiasReLU(Module):
+    """Inference-only conv + bias + (optional) ReLU in one planned GEMM.
+
+    Holds plain arrays, not :class:`Parameter`\\ s: frozen graphs are never
+    trained or checkpointed, and keeping the folded weights out of
+    ``parameters()`` means an optimizer can never touch them by accident.
+    """
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None,
+                 stride: int = 1, padding: int = 0, dilation: int = 1,
+                 relu: bool = True):
+        super().__init__()
+        self.weight = np.asarray(weight)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.dilation = int(dilation)
+        self.relu = bool(relu)
+        self.out_channels = self.weight.shape[0]
+        self.kernel = self.weight.shape[2]
+
+    @classmethod
+    def from_conv_bn(cls, conv: Conv2D, bn: BatchNorm2D,
+                     relu: bool = True) -> "FusedConvBiasReLU":
+        w, b = fold_bn_into_conv(conv, bn)
+        return cls(w, b, conv.stride, conv.padding, conv.dilation, relu=relu)
+
+    @classmethod
+    def from_conv(cls, conv: Conv2D, relu: bool = False) -> "FusedConvBiasReLU":
+        bias = None if conv.bias is None else conv.bias.master_value().astype(np.float32)
+        return cls(conv.weight.data.copy(), bias,
+                   conv.stride, conv.padding, conv.dilation, relu=relu)
+
+    def output_hw(self, h: int, w: int) -> tuple[int, int]:
+        k = self.kernel
+        return (conv_output_size(h, k, self.stride, self.padding, self.dilation),
+                conv_output_size(w, k, self.stride, self.padding, self.dilation))
+
+    def forward(self, x):
+        if isinstance(x, ShapeProbe):
+            return self._trace(x)
+        y = conv2d_bias_relu_forward(x.data, self.weight, self.bias,
+                                     self.stride, self.padding, self.dilation,
+                                     relu=self.relu)
+        return Tensor(y)
+
+    def _trace(self, x: ShapeProbe) -> ShapeProbe:
+        tr = x.tracer
+        n, c, h, w = x.shape
+        oh, ow = self.output_hw(h, w)
+        k = self.kernel
+        out_shape = (n, self.out_channels, oh, ow)
+        flops = conv2d_flops(n, c, self.out_channels, oh, ow, k, k)
+        nbytes = (tr.tensor_bytes(x.shape) + tr.tensor_bytes(self.weight.shape)
+                  + tr.tensor_bytes(out_shape))
+        tr.emit(f"conv{k}x{k}_bias_relu_fwd", "conv_fwd", flops, nbytes,
+                algorithm="im2col_gemm_fused")
+        return ShapeProbe(out_shape, tr)
+
+
+class FusedScaleShiftReLU(Module):
+    """Inference-only per-channel ``relu(scale * x + shift)`` in one pass.
+
+    The fused form of BN (-> ReLU) chains that sit *before* a convolution
+    and therefore cannot be folded into its weights.
+    """
+
+    def __init__(self, scale: np.ndarray, shift: np.ndarray, relu: bool = True):
+        super().__init__()
+        self.scale = np.asarray(scale, dtype=np.float32)
+        self.shift = np.asarray(shift, dtype=np.float32)
+        self.relu = bool(relu)
+
+    @classmethod
+    def from_bn(cls, bn: BatchNorm2D, relu: bool = True) -> "FusedScaleShiftReLU":
+        scale, shift = bn_scale_shift(bn)
+        return cls(scale, shift, relu=relu)
+
+    def forward(self, x):
+        if isinstance(x, ShapeProbe):
+            tr = x.tracer
+            numel = x.size
+            tr.emit("scale_shift_relu_fwd", "pointwise_fwd", 3 * numel,
+                    2 * tr.tensor_bytes(x.shape))
+            return x
+        return Tensor(scale_shift_relu(x.data, self.scale, self.shift,
+                                       relu=self.relu))
+
+
+def fuse_sequential(seq: Sequential) -> int:
+    """Fuse Conv2D -> BatchNorm2D (-> ReLU) runs inside a bare Sequential.
+
+    Returns the number of fusions performed.  Matched batchnorms (and the
+    optional trailing ReLU) are replaced with :class:`Identity` so layer
+    indices — and any external references into ``seq.layers`` — survive.
+    """
+    fused = 0
+    layers = seq.layers
+    i = 0
+    while i < len(layers) - 1:
+        conv, nxt = layers[i], layers[i + 1]
+        if type(conv) is Conv2D and isinstance(nxt, BatchNorm2D):
+            relu = i + 2 < len(layers) and isinstance(layers[i + 2], ReLU)
+            replacement = FusedConvBiasReLU.from_conv_bn(conv, nxt, relu=relu)
+            seq.add_module(str(i), replacement)
+            layers[i] = replacement
+            seq.add_module(str(i + 1), Identity())
+            layers[i + 1] = Identity()
+            if relu:
+                seq.add_module(str(i + 2), Identity())
+                layers[i + 2] = Identity()
+            fused += 1
+            i += 3 if relu else 2
+        else:
+            i += 1
+    return fused
+
+
+def _fuse_tree(mod: Module) -> int:
+    fused = 0
+    hook = getattr(mod, "fuse_inference", None)
+    if callable(hook):
+        fused += int(hook() or 0)
+    elif isinstance(mod, Sequential):
+        fused += fuse_sequential(mod)
+    # Children are re-read after the hook ran: fused replacements (which
+    # have no hooks of their own) are traversed harmlessly.
+    for child in list(mod._modules.values()):
+        fused += _fuse_tree(child)
+    return fused
+
+
+def freeze(model: Module) -> Module:
+    """Return an inference-frozen, fused deep copy of ``model``.
+
+    The copy runs the folded/fused graph in eval mode and refuses to
+    re-enter training mode (``train(True)`` is a no-op that keeps eval
+    semantics).  The original model — parameters, running stats, and its
+    ``analyze()`` kernel records — is left bit-for-bit untouched.
+    """
+    frozen = deepcopy(model)
+    _fuse_tree(frozen)
+    frozen.eval()
+    object.__setattr__(frozen, "_frozen", True)
+    return frozen

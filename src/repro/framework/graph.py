@@ -47,13 +47,21 @@ CATEGORIES = (
 
 @dataclass
 class KernelRecord:
-    """One (class of) GPU kernel launch in a training step."""
+    """One (class of) GPU kernel launch in a training step.
+
+    ``algorithm`` names the lowering the eager kernels actually execute for
+    this record (e.g. ``"im2col_gemm"`` for planned convolutions) — pure
+    metadata for breakdown tables.  FLOP and byte counts are a property of
+    the *operation*, never of the lowering, so plan caching and algorithm
+    changes must leave them bit-for-bit identical.
+    """
 
     name: str
     category: str
     flops: int
     bytes: int
     count: int = 1
+    algorithm: str = ""
 
     def __post_init__(self):
         if self.category not in CATEGORIES:
@@ -112,8 +120,11 @@ class GraphTracer:
         """Create the input probe for an NCHW model."""
         return ShapeProbe((self.batch, channels, height, width), self)
 
-    def emit(self, name: str, category: str, flops: int, nbytes: int, count: int = 1) -> None:
-        self.records.append(KernelRecord(name, category, int(flops), int(nbytes), count))
+    def emit(self, name: str, category: str, flops: int, nbytes: int,
+             count: int = 1, algorithm: str = "") -> None:
+        self.records.append(
+            KernelRecord(name, category, int(flops), int(nbytes), count,
+                         algorithm=algorithm))
 
     def note_activation(self, shape: Iterable[int]) -> None:
         """Record one forward intermediate that backward will need."""

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from collections import OrderedDict
+
 from .. import init as initializers
 from ..graph import ShapeProbe
 from ..module import Module
@@ -25,10 +27,16 @@ from ..ops.conv import (
     conv_output_size,
     conv_transpose_output_size,
 )
+from ..ops.plan import ConvPlan
 from ..parameter import Parameter
 from ..tensor import Tensor
 
 __all__ = ["Conv2D", "AtrousConv2D", "ConvTranspose2D"]
+
+#: Distinct input signatures a single layer keeps live plans for.  Layers
+#: normally see one shape per phase (training grid, serving tile); a small
+#: bound keeps pathological callers from hoarding workspaces.
+_LAYER_PLAN_SLOTS = 4
 
 
 def _resolve_padding(padding, kernel: int, dilation: int) -> int:
@@ -84,6 +92,24 @@ class Conv2D(Module):
             if bias
             else None
         )
+        # Layer-owned execution plans (input signature -> ConvPlan).  Owning
+        # them (rather than using the process-wide cache) guarantees the
+        # column workspace filled by this layer's forward is still intact at
+        # its weight gradient — other same-shape layers cannot clobber it.
+        self._plans: OrderedDict[tuple, ConvPlan] = OrderedDict()
+
+    def _plan_for(self, x) -> ConvPlan:
+        key = (x.shape, str(x.dtype))
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = ConvPlan(x.shape, self.weight.data.shape, self.stride,
+                            self.padding, self.dilation, x.dtype)
+            self._plans[key] = plan
+            while len(self._plans) > _LAYER_PLAN_SLOTS:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(key)
+        return plan
 
     # -- geometry ---------------------------------------------------------
 
@@ -102,16 +128,20 @@ class Conv2D(Module):
 
     def _eager(self, x: Tensor) -> Tensor:
         w = self.weight
-        stride, pad, dil = self.stride, self.padding, self.dilation
-        y = conv2d_forward(x.data, w.data, stride, pad, dil)
-        x_shape, w_shape = x.data.shape, w.data.shape
+        plan = self._plan_for(x.data)
+        token = plan.im2col(x.data)
+        y = plan.forward_from_cols(plan.columns_for(token, x.data), w.data)
         x_data = x.data
 
         def backward(g: np.ndarray) -> None:
-            if x.requires_grad:
-                x.accumulate_grad(conv2d_backward_input(g, w.data, x_shape, stride, pad, dil))
             if w.requires_grad:
-                w.accumulate_grad(conv2d_backward_weight(g, x_data, w_shape, stride, pad, dil))
+                # The forward's column workspace (hence its padded input) is
+                # reused here; the token only misses if this layer ran again
+                # before backward, in which case columns_for refills safely.
+                cols = plan.columns_for(token, x_data)
+                w.accumulate_grad(plan.backward_weight_from_cols(g, cols))
+            if x.requires_grad:
+                x.accumulate_grad(plan.backward_input(g, w.data))
 
         out = Tensor.from_op(y, (x, w), backward, f"conv2d[{self.kernel}x{self.kernel}]")
         if self.bias is not None:
@@ -132,7 +162,8 @@ class Conv2D(Module):
         w_bytes = tr.tensor_bytes(self.weight.shape)
         out_shape = (n, self.out_channels, oh, ow)
         out_bytes = tr.tensor_bytes(out_shape)
-        tr.emit(f"conv{k}x{k}_fwd", "conv_fwd", fwd_flops, in_bytes + w_bytes + out_bytes)
+        tr.emit(f"conv{k}x{k}_fwd", "conv_fwd", fwd_flops,
+                in_bytes + w_bytes + out_bytes, algorithm="im2col_gemm")
         tr.note_activation(out_shape)
         if tr.precision.is_half:
             # FP32 master weights are cast to the FP16 working copy each step.
@@ -146,9 +177,10 @@ class Conv2D(Module):
         if tr.include_backward:
             # dgrad reads dy + w, writes dx; wgrad reads dy + x, writes dw (FP32).
             tr.emit(f"conv{k}x{k}_dgrad", "conv_bwd", fwd_flops,
-                    out_bytes + w_bytes + in_bytes)
+                    out_bytes + w_bytes + in_bytes, algorithm="im2col_gemm")
             tr.emit(f"conv{k}x{k}_wgrad", "conv_bwd", fwd_flops,
-                    out_bytes + in_bytes + self.weight.size * 4)
+                    out_bytes + in_bytes + self.weight.size * 4,
+                    algorithm="im2col_gemm")
             if self.bias is not None:
                 bias_elems = n * self.out_channels * oh * ow
                 tr.emit("bias_grad", "pointwise_bwd", bias_elems, out_bytes)

@@ -71,6 +71,8 @@ class Module:
     # -- modes -------------------------------------------------------------------
 
     def train(self, mode: bool = True) -> "Module":
+        if getattr(self, "_frozen", False):
+            mode = False  # frozen graphs are inference-only, permanently
         object.__setattr__(self, "training", mode)
         for m in self._modules.values():
             m.train(mode)
@@ -78,6 +80,13 @@ class Module:
 
     def eval(self) -> "Module":
         return self.train(False)
+
+    def freeze_for_inference(self) -> "Module":
+        """Return a fused, inference-frozen deep copy (see
+        :func:`repro.framework.fusion.freeze`).  ``self`` is untouched."""
+        from .fusion import freeze
+
+        return freeze(self)
 
     def zero_grad(self) -> None:
         for p in self.parameters():

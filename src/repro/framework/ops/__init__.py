@@ -2,9 +2,12 @@
 from .backends import CONV_BACKENDS, ConvAutotuner, conv2d_fft, conv2d_im2col
 from .conv import (
     conv2d_backward_input,
+    conv2d_backward_input_reference,
     conv2d_backward_weight,
+    conv2d_backward_weight_reference,
     conv2d_flops,
     conv2d_forward,
+    conv2d_forward_reference,
     conv_output_size,
     conv_transpose_output_size,
 )
@@ -13,8 +16,19 @@ from .depthwise import (
     depthwise_conv2d_backward_weight,
     depthwise_conv2d_flops,
     depthwise_conv2d_forward,
+    depthwise_conv2d_forward_reference,
 )
+from .fused import conv2d_bias_relu_forward, scale_shift_relu
 from .norm import batchnorm_backward, batchnorm_forward, batchnorm_infer
+from .plan import (
+    ConvPlan,
+    DepthwiseConvPlan,
+    PlanCache,
+    clear_plan_cache,
+    get_conv_plan,
+    get_depthwise_plan,
+    plan_cache_stats,
+)
 from .pool import (
     avgpool2d_backward,
     avgpool2d_forward,
@@ -31,6 +45,19 @@ from .shape import (
 
 __all__ = [
     "conv2d_forward",
+    "conv2d_forward_reference",
+    "conv2d_backward_input_reference",
+    "conv2d_backward_weight_reference",
+    "depthwise_conv2d_forward_reference",
+    "conv2d_bias_relu_forward",
+    "scale_shift_relu",
+    "ConvPlan",
+    "DepthwiseConvPlan",
+    "PlanCache",
+    "get_conv_plan",
+    "get_depthwise_plan",
+    "plan_cache_stats",
+    "clear_plan_cache",
     "CONV_BACKENDS",
     "ConvAutotuner",
     "conv2d_im2col",

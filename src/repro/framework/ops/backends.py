@@ -6,10 +6,14 @@ performance", discovered via cuDNN API tracing (implicit GEMM and direct
 convolution in their runs).  We mirror that structure on the NumPy
 substrate with three interchangeable forward algorithms:
 
-* ``tap_gemm`` — the default: one GEMM-shaped contraction per kernel tap
-  (our analogue of cuDNN's implicit GEMM); best for small kernels;
-* ``im2col`` — explicit patch-matrix materialization followed by a single
-  large GEMM; trades memory for one big BLAS call;
+* ``plan`` — the default production path: cached
+  :class:`~repro.framework.ops.plan.ConvPlan` (``as_strided`` im2col into a
+  reusable workspace + one batched GEMM);
+* ``tap_gemm`` — the legacy kernel: one GEMM-shaped contraction per kernel
+  tap (our analogue of cuDNN's implicit GEMM); kept as the reference
+  oracle;
+* ``im2col`` — naive explicit patch-matrix materialization (fresh
+  allocation per call) followed by a single large GEMM;
 * ``fft`` — FFT-domain convolution; wins for large kernels at large
   spatial extents.
 
@@ -24,7 +28,8 @@ import time
 
 import numpy as np
 
-from .conv import conv2d_forward as _tap_gemm_forward
+from .conv import conv2d_forward as _plan_forward
+from .conv import conv2d_forward_reference as _tap_gemm_forward
 from .conv import conv_output_size
 
 __all__ = ["conv2d_im2col", "conv2d_fft", "CONV_BACKENDS", "ConvAutotuner"]
@@ -94,6 +99,7 @@ def conv2d_fft(x: np.ndarray, w: np.ndarray, stride: int = 1,
 
 
 CONV_BACKENDS = {
+    "plan": _plan_forward,
     "tap_gemm": _tap_gemm_forward,
     "im2col": conv2d_im2col,
     "fft": conv2d_fft,

@@ -1,11 +1,18 @@
 """2-D convolution kernels (forward and both backward passes).
 
 Layout is NCHW throughout, matching the paper's cuDNN workloads.  The
-implementation unrolls the (small) kernel spatial footprint and performs one
-GEMM-shaped contraction per tap — the NumPy analogue of cuDNN's *implicit
-GEMM* algorithm that the paper's API tracing found cuDNN selecting
-(Section VI).  Stride and dilation (atrous convolution, the core of the
-DeepLabv3+ encoder/ASPP) are both supported.
+public entry points (:func:`conv2d_forward` and both gradients) lower each
+problem to a cached :class:`~repro.framework.ops.plan.ConvPlan`: an
+``as_strided`` im2col into a reusable workspace followed by a *single*
+batched GEMM — the NumPy analogue of cuDNN's implicit-GEMM algorithm that
+the paper's API tracing found cuDNN selecting (Section VI).  Stride and
+dilation (atrous convolution, the core of the DeepLabv3+ encoder/ASPP) are
+both supported.
+
+The pre-plan kernels — one GEMM-shaped contraction per kernel tap — are
+kept as ``*_reference`` functions: they are the independent oracle the
+equivalence test-suite checks plans against, and the ``tap_gemm`` backend
+of the autotuner.
 
 Mixed-precision semantics: inputs may be float16; contractions accumulate in
 float32 (Tensor-Core style) and results are rounded back to the input dtype.
@@ -14,10 +21,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from .plan import get_conv_plan
+
 __all__ = [
     "conv2d_forward",
     "conv2d_backward_input",
     "conv2d_backward_weight",
+    "conv2d_forward_reference",
+    "conv2d_backward_input_reference",
+    "conv2d_backward_weight_reference",
     "conv_output_size",
     "conv_transpose_output_size",
     "conv2d_flops",
@@ -57,7 +69,56 @@ def conv2d_forward(
 ) -> np.ndarray:
     """Convolve ``x`` (N,C,H,W) with ``w`` (F,C,KH,KW); cross-correlation.
 
-    Returns (N,F,OH,OW) in the dtype of ``x``.
+    Returns (N,F,OH,OW) in the dtype of ``x``.  Lowered to a planned
+    im2col + single GEMM via the process-wide plan cache.
+    """
+    plan = get_conv_plan(x.shape, w.shape, stride, padding, dilation, x.dtype)
+    return plan.forward(x, w)
+
+
+def conv2d_backward_input(
+    grad_out: np.ndarray,
+    w: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Gradient of conv2d w.r.t. its input (cuDNN's *dgrad*); planned GEMM."""
+    plan = get_conv_plan(x_shape, w.shape, stride, padding, dilation,
+                         grad_out.dtype)
+    return plan.backward_input(grad_out, w)
+
+
+def conv2d_backward_weight(
+    grad_out: np.ndarray,
+    x: np.ndarray,
+    w_shape: tuple[int, int, int, int],
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Gradient of conv2d w.r.t. the weight (cuDNN's *wgrad*); planned GEMM.
+
+    The weight gradient is accumulated (and returned) in FP32 even for FP16
+    activations — exactly what mixed-precision training does so that the
+    gradient all-reduce and master-weight update see a usable dynamic range.
+    """
+    plan = get_conv_plan(x.shape, w_shape, stride, padding, dilation, x.dtype)
+    return plan.backward_weight(grad_out, x)
+
+
+def conv2d_forward_reference(
+    x: np.ndarray,
+    w: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Pre-plan forward: one GEMM-shaped contraction per kernel tap.
+
+    Kept as the independent oracle for the plan equivalence suite and as
+    the autotuner's ``tap_gemm`` backend.
     """
     n, c, h, wi = x.shape
     f, cw, kh, kw = w.shape
@@ -82,7 +143,7 @@ def conv2d_forward(
     return out.astype(x.dtype, copy=False)
 
 
-def conv2d_backward_input(
+def conv2d_backward_input_reference(
     grad_out: np.ndarray,
     w: np.ndarray,
     x_shape: tuple[int, int, int, int],
@@ -90,7 +151,7 @@ def conv2d_backward_input(
     padding: int = 0,
     dilation: int = 1,
 ) -> np.ndarray:
-    """Gradient of conv2d w.r.t. its input (cuDNN's *dgrad*)."""
+    """Pre-plan dgrad: per-tap contractions + scatter (reference oracle)."""
     n, c, h, wi = x_shape
     f, _, kh, kw = w.shape
     _, _, oh, ow = grad_out.shape
@@ -108,7 +169,7 @@ def conv2d_backward_input(
     return dxp.astype(grad_out.dtype, copy=False)
 
 
-def conv2d_backward_weight(
+def conv2d_backward_weight_reference(
     grad_out: np.ndarray,
     x: np.ndarray,
     w_shape: tuple[int, int, int, int],
@@ -116,12 +177,7 @@ def conv2d_backward_weight(
     padding: int = 0,
     dilation: int = 1,
 ) -> np.ndarray:
-    """Gradient of conv2d w.r.t. the weight (cuDNN's *wgrad*).
-
-    The weight gradient is accumulated in FP32 even for FP16 activations —
-    this is exactly what mixed-precision training does so that the gradient
-    all-reduce and master-weight update see a usable dynamic range.
-    """
+    """Pre-plan wgrad: per-tap contractions (reference oracle); FP32 out."""
     n, c, h, wi = x.shape
     f, cw, kh, kw = w_shape
     _, _, oh, ow = grad_out.shape

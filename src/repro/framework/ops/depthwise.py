@@ -12,11 +12,15 @@ from __future__ import annotations
 import numpy as np
 
 from .conv import conv_output_size
+from .plan import get_depthwise_plan
 
 __all__ = [
     "depthwise_conv2d_forward",
     "depthwise_conv2d_backward_input",
     "depthwise_conv2d_backward_weight",
+    "depthwise_conv2d_forward_reference",
+    "depthwise_conv2d_backward_input_reference",
+    "depthwise_conv2d_backward_weight_reference",
     "depthwise_conv2d_flops",
 ]
 
@@ -29,7 +33,40 @@ def depthwise_conv2d_forward(
     x: np.ndarray, w: np.ndarray, stride: int = 1, padding: int = 0,
     dilation: int = 1,
 ) -> np.ndarray:
-    """Per-channel convolution: x (N,C,H,W), w (C,KH,KW) -> (N,C,OH,OW)."""
+    """Per-channel convolution: x (N,C,H,W), w (C,KH,KW) -> (N,C,OH,OW).
+
+    Lowered to a planned im2col + one batched per-channel GEMM.
+    """
+    plan = get_depthwise_plan(x.shape, w.shape, stride, padding, dilation,
+                              x.dtype)
+    return plan.forward(x, w)
+
+
+def depthwise_conv2d_backward_input(
+    grad_out: np.ndarray, w: np.ndarray, x_shape: tuple[int, int, int, int],
+    stride: int = 1, padding: int = 0, dilation: int = 1,
+) -> np.ndarray:
+    """Planned depthwise dgrad (broadcast product + col2im scatter)."""
+    plan = get_depthwise_plan(x_shape, w.shape, stride, padding, dilation,
+                              grad_out.dtype)
+    return plan.backward_input(grad_out, w)
+
+
+def depthwise_conv2d_backward_weight(
+    grad_out: np.ndarray, x: np.ndarray, w_shape: tuple[int, int, int],
+    stride: int = 1, padding: int = 0, dilation: int = 1,
+) -> np.ndarray:
+    """Planned depthwise wgrad (single batched GEMM; FP32 accumulation)."""
+    plan = get_depthwise_plan(x.shape, w_shape, stride, padding, dilation,
+                              x.dtype)
+    return plan.backward_weight(grad_out, x)
+
+
+def depthwise_conv2d_forward_reference(
+    x: np.ndarray, w: np.ndarray, stride: int = 1, padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Pre-plan per-tap loop, kept as the equivalence-suite oracle."""
     n, c, h, wi = x.shape
     cw, kh, kw = w.shape
     if cw != c:
@@ -49,7 +86,7 @@ def depthwise_conv2d_forward(
     return out.astype(x.dtype, copy=False)
 
 
-def depthwise_conv2d_backward_input(
+def depthwise_conv2d_backward_input_reference(
     grad_out: np.ndarray, w: np.ndarray, x_shape: tuple[int, int, int, int],
     stride: int = 1, padding: int = 0, dilation: int = 1,
 ) -> np.ndarray:
@@ -71,7 +108,7 @@ def depthwise_conv2d_backward_input(
     return dxp.astype(grad_out.dtype, copy=False)
 
 
-def depthwise_conv2d_backward_weight(
+def depthwise_conv2d_backward_weight_reference(
     grad_out: np.ndarray, x: np.ndarray, w_shape: tuple[int, int, int],
     stride: int = 1, padding: int = 0, dilation: int = 1,
 ) -> np.ndarray:

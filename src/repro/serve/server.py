@@ -67,6 +67,7 @@ class ServeConfig:
     max_depth: int = 64             # per-lane queue cap (backpressure)
     slo_s: tuple[tuple[str, float], ...] = ()   # per-lane shed targets
     cache_budget_bytes: int = 32 << 20          # 0 disables the tile cache
+    freeze: bool = True             # replicas run the fused inference graph
     retry: RetryPolicy = RetryPolicy(max_attempts=3, backoff_base_s=0.001,
                                      max_backoff_s=0.01)
 
@@ -90,6 +91,15 @@ class InferenceServer:
         self.injector = FaultInjector(plan) if plan is not None else None
         self.cache = (TileCache(cfg.cache_budget_bytes, model_key=model_key)
                       if cfg.cache_budget_bytes else None)
+        if cfg.freeze:
+            # Each replica serves the BN-folded, fusion-rewritten graph
+            # (repro.framework.fusion); the caller's model is untouched.
+            base_factory = model_factory
+
+            def model_factory():
+                model = base_factory()
+                fz = getattr(model, "freeze_for_inference", None)
+                return fz() if callable(fz) else model
         self.pool = ReplicaPool(
             model_factory, cfg.num_replicas, cfg.window_hw,
             stride_hw=cfg.stride_hw, forward_batch=cfg.forward_batch,
