@@ -24,6 +24,9 @@ RPR006 float16-outside-precision    warning  no    bypasses loss-scaled FP16
                                                    path
 RPR007 stale-suppression            info     yes   disable comment matching
                                                    no finding
+RPR008 raw-time-call                warning  no    bypasses the telemetry
+                                                   clock (breaks virtual
+                                                   time)
 ====== ============================ ======== ===== =========================
 """
 from __future__ import annotations
@@ -43,6 +46,7 @@ __all__ = [
     "MutableDefaultArg",
     "Float16OutsidePrecision",
     "StaleSuppression",
+    "RawTimeCall",
     "DEFAULT_RULES",
     "default_rules",
     "rule_catalog",
@@ -526,6 +530,76 @@ class StaleSuppression(Rule):
 
 
 # ---------------------------------------------------------------------------
+# RPR008 — raw clock reads inside instrumented modules
+# ---------------------------------------------------------------------------
+
+#: ``time`` module functions that read a clock directly.
+_RAW_TIME_FUNCS = frozenset({
+    "time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns", "time_ns",
+})
+
+
+class RawTimeCall(Rule):
+    id = "RPR008"
+    name = "raw-time-call"
+    severity = "warning"
+    description = ("A direct time.time()/time.perf_counter() call inside an "
+                   "instrumented repro module reads the wall clock behind "
+                   "the telemetry session's back: under a SimulatedClock "
+                   "the measurement is meaningless and virtual-time traces "
+                   "skew. Route through the session clock "
+                   "(telemetry.get_active().tracer.clock.now()) or take a "
+                   "clock parameter.")
+
+    #: The clock abstraction itself is the one sanctioned wall-clock reader.
+    exempt_suffixes = ("telemetry/clock.py",)
+
+    def _instrumented(self, rel_path: str) -> bool:
+        return "src/repro/" in rel_path or rel_path.startswith("repro/")
+
+    def _time_aliases(self, ctx: FileContext) -> tuple[set, dict]:
+        mods: set[str] = set()
+        from_funcs: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        mods.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _RAW_TIME_FUNCS:
+                        from_funcs[alias.asname or alias.name] = alias.name
+        return mods, from_funcs
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if (not self._instrumented(ctx.rel_path)
+                or ctx.rel_path.endswith(self.exempt_suffixes)):
+            return []
+        mods, from_funcs = self._time_aliases(ctx)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in mods
+                    and func.attr in _RAW_TIME_FUNCS):
+                name = f"{func.value.id}.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in from_funcs:
+                name = from_funcs[func.id]
+            if name is not None:
+                findings.append(self.node_finding(
+                    ctx, node,
+                    f"'{name}()' reads the wall clock directly in an "
+                    f"instrumented module; use the telemetry session clock "
+                    f"so simulated/virtual time stays coherent"))
+        return findings
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -537,6 +611,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     MutableDefaultArg,
     Float16OutsidePrecision,
     StaleSuppression,
+    RawTimeCall,
 )
 
 

@@ -163,14 +163,17 @@ def _cmd_trace(args) -> int:
 
     import numpy as np
 
+    import json
+
     from .climate import ClimateDataset, Grid, class_frequencies
     from .comm.timeline import build_timeline
     from .core import DistributedTrainer, TrainConfig
     from .core.networks import Tiramisu, TiramisuConfig
     from .io.pipeline import PrefetchPipeline
     from .perf.stats import sustained_throughput
-    from .telemetry import (Telemetry, activate, render_metrics_report,
-                            write_chrome_trace, write_jsonl)
+    from .telemetry import (CrossRankTrace, Telemetry, activate,
+                            render_metrics_report, write_chrome_trace,
+                            write_jsonl)
 
     if args.steps < 1 or args.samples < 1 or args.ranks < 1 or args.batch < 1:
         raise SystemExit("trace: --steps, --samples, --ranks, and --batch "
@@ -216,6 +219,25 @@ def _cmd_trace(args) -> int:
             step_durations.append(sp.duration_s)
             tel.metrics.histogram("trainer.step_time_s").observe(sp.duration_s)
 
+        if args.serve_requests:
+            # A small serving drill in the *same* session, so serve.* spans
+            # merge into the one trace (PR 4's spans were previously lost).
+            from .serve import (FixedServiceTime, InferenceServer,
+                                ServeConfig, WorkloadConfig, synth_workload)
+
+            server = InferenceServer(
+                factory,
+                ServeConfig(window_hw=(8, 8), stride_hw=(4, 4),
+                            num_replicas=2, max_batch_size=4,
+                            max_wait_s=0.002, forward_batch=16,
+                            cache_budget_bytes=0),
+                service_model=FixedServiceTime(per_window_s=0.001),
+                model_key=f"tiramisu-seed{args.seed}")
+            server.serve(synth_workload(WorkloadConfig(
+                num_requests=args.serve_requests, rate_rps=500.0,
+                image_hw=(16, 16), channels=4, repeat_fraction=0.25,
+                seed=args.seed)))
+
     stats = sustained_throughput(
         np.full((args.steps, args.ranks), args.batch, dtype=np.float64),
         np.asarray(step_durations))
@@ -244,10 +266,40 @@ def _cmd_trace(args) -> int:
         extra_lines=["", throughput_line]))
 
     components = sorted({s.category for s in spans})
-    print(f"wrote {trace_path} ({len(spans)} spans; "
-          f"components: {', '.join(components)})")
-    print(f"wrote {out / 'metrics.txt'} and {out / 'telemetry.jsonl'}")
-    print(throughput_line)
+    if args.json:
+        cross = CrossRankTrace(spans)
+        by_cat: dict[str, int] = {}
+        for s in spans:
+            by_cat[s.category] = by_cat.get(s.category, 0) + 1
+        doc = {
+            "spans": len(spans),
+            "components": by_cat,
+            "messages": {
+                "total": len(cross.links),
+                "matched": len(cross.matched()),
+                "unmatched": len(cross.unmatched()),
+                "dropped": sum(1 for l in cross.links.values() if l.dropped),
+            },
+            "steps": [b.as_dict() for b in cross.step_breakdowns()],
+            "phase_summary": {
+                phase: {"median": s.median, "lo": s.lo, "hi": s.hi}
+                for phase, s in cross.summarize().items()
+            },
+            "throughput_samples_per_s": {
+                "median": stats.median, "lo": stats.lo, "hi": stats.hi,
+            },
+            "outputs": {
+                "trace": str(trace_path),
+                "metrics": str(out / "metrics.txt"),
+                "jsonl": str(out / "telemetry.jsonl"),
+            },
+        }
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(f"wrote {trace_path} ({len(spans)} spans; "
+              f"components: {', '.join(components)})")
+        print(f"wrote {out / 'metrics.txt'} and {out / 'telemetry.jsonl'}")
+        print(throughput_line)
     return 0
 
 
@@ -343,6 +395,136 @@ def _cmd_faults(args) -> int:
     print(f"wrote {trace_path} and {out / 'metrics.txt'}")
     print("recovery OK" if recovered else "recovery FAILED")
     return 0 if recovered else 1
+
+
+def _cmd_health(args) -> int:
+    """Health drill: faulty training under the streaming/health engine.
+
+    Runs a short multi-rank training job on a **simulated clock** under a
+    seeded :class:`FaultPlan` with the full observability control plane
+    attached: per-step virtual rank spans (stretched by the injector's
+    straggler factors), streaming tumbling windows, and the stock health
+    rules.  Deterministic under a fixed seed: the same plan fires — and
+    resolves — the same alerts at the same virtual times.  Prints the text
+    dashboard (or ``--json`` the machine-readable report with the detected
+    straggler rank and the full alert lifecycle) and writes the merged
+    cross-rank Chrome trace.
+    """
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from .climate import ClimateDataset, Grid, class_frequencies
+    from .core import TrainConfig
+    from .core.networks import Tiramisu, TiramisuConfig
+    from .resilience import FaultPlan, run_resilient_training
+    from .telemetry import (CrossRankTrace, SimulatedClock, Telemetry,
+                            activate, write_chrome_trace)
+
+    if args.steps < 1 or args.ranks < 1 or args.samples < 1:
+        raise SystemExit("health: --steps, --ranks, and --samples must be >= 1")
+    plan = FaultPlan.parse(args.plan, seed=args.seed)
+    grid = Grid(args.grid, args.grid * 3 // 2)
+    dataset = ClimateDataset.synthesize(grid, num_samples=args.samples,
+                                        seed=args.seed, channels=4)
+    freqs = class_frequencies(dataset.labels)
+
+    def factory():
+        return Tiramisu(
+            TiramisuConfig(in_channels=4, base_filters=8, growth=8,
+                           down_layers=(2,), bottleneck_layers=2,
+                           kernel=3, dropout=0.0),
+            rng=np.random.default_rng(args.seed))
+
+    def provider(step, rank, world_size):
+        idx = (step * world_size + rank) % len(dataset)
+        return dataset.images[idx:idx + 1], dataset.labels[idx:idx + 1]
+
+    clock = SimulatedClock()
+    tel = Telemetry(clock=clock)
+    tel.attach_health(window_s=args.window)
+    base_s = 0.4 * args.window          # nominal per-rank compute (virtual)
+    comm_s = 0.1 * args.window
+
+    def on_step(step, result, trainer, original_ids):
+        # Emit the step's *virtual* execution: each surviving rank computes
+        # for base_s stretched by its straggler factor, then one exchange.
+        # The simulated clock then advances one window, so the runner's
+        # sample/advance/evaluate closes this step's window deterministically.
+        injector = trainer.world.fault_injector
+        t0 = clock.now()
+        slowest = 0.0
+        for orig in original_ids:
+            factor = injector.delay_factor(orig) if injector else 1.0
+            d = base_s * factor
+            slowest = max(slowest, d)
+            tel.tracer.emit("rank_compute", start_s=t0, duration_s=d,
+                            category="trainer", lane=orig, step=step,
+                            rank=orig)
+            tel.streams.observe("trainer.rank_step_s", d, t=t0, rank=orig)
+        tel.tracer.emit("virtual_exchange", start_s=t0 + slowest,
+                        duration_s=comm_s, category="comm", step=step, lane=0)
+        tel.streams.observe("trainer.step_time_s", slowest + comm_s, t=t0)
+        # World size observed every window (not just at the shrink) so the
+        # rate-of-change rule has a "before" to diff against.
+        tel.streams.observe("dist.world_size", trainer.world_size, t=t0)
+        clock.advance(args.window)
+
+    with activate(tel):
+        report = run_resilient_training(
+            factory, TrainConfig(lr=args.lr, optimizer="larc"), args.ranks,
+            provider, steps=args.steps, plan=plan, class_frequencies=freqs,
+            on_step=on_step)
+        # Flush: close the final window so trailing breaches/OKs settle.
+        clock.advance(args.window)
+        tel.streams.sample(tel.metrics)
+        tel.health.evaluate(t=clock.now())
+
+    spans = tel.tracer.spans()
+    cross = CrossRankTrace(spans)
+    straggler = None
+    for a in tel.health.alerts:
+        if "straggler_rank" in a.context:
+            straggler = a.context["straggler_rank"]
+            break
+    if straggler is None:
+        counts = cross.straggler_counts()
+        straggler = max(counts, key=counts.get) if counts else None
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / "trace.json"
+    write_chrome_trace(trace_path, spans)
+
+    fired = len(tel.health.alerts)
+    resolved = len(tel.health.resolved())
+    if args.json:
+        doc = {
+            "plan": plan.describe(),
+            "seed": args.seed,
+            "steps_completed": report.steps_completed,
+            "world": {"start": report.start_world_size,
+                      "final": report.final_world_size,
+                      "rank_failures": report.rank_failures},
+            "straggler_rank": straggler,
+            "alerts_fired": fired,
+            "alerts_resolved": resolved,
+            "health": tel.health.report(),
+            "steps": [b.as_dict() for b in cross.step_breakdowns()],
+            "messages": {"total": len(cross.links),
+                         "matched": len(cross.matched()),
+                         "unmatched": len(cross.unmatched())},
+            "trace": str(trace_path),
+        }
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(tel.health.render(
+            title=f"Health drill - {args.ranks} ranks, seed {args.seed}"))
+        print(f"straggler rank: {straggler}")
+        print(f"alerts: {fired} fired, {resolved} resolved")
+        print(f"wrote {trace_path}")
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -568,6 +750,12 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--lr", type=float, default=0.05)
     pr.add_argument("--seed", type=int, default=0)
     pr.add_argument("--out", default="trace_out")
+    pr.add_argument("--serve-requests", type=int, default=0,
+                    help="also run N requests through the inference server "
+                         "so serve.* spans merge into the trace")
+    pr.add_argument("--json", action="store_true",
+                    help="emit a machine-readable summary (message links, "
+                         "per-step phase breakdowns) instead of text")
     pr.set_defaults(fn=_cmd_trace)
 
     pf = sub.add_parser(
@@ -591,6 +779,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max relative final-loss difference vs fault-free")
     pf.add_argument("--out", default="faults_out")
     pf.set_defaults(fn=_cmd_faults)
+
+    ph = sub.add_parser(
+        "health",
+        help="health drill: faulty training under the streaming/health "
+             "engine (virtual time)")
+    ph.add_argument("--plan",
+                    default="straggler@1:rank=3,factor=4;"
+                            "rank_fail@6:rank=3;read_fault@2",
+                    help="fault schedule; the default stragglers rank 3 "
+                         "then kills it")
+    ph.add_argument("--ranks", type=int, default=8)
+    ph.add_argument("--steps", type=int, default=10)
+    ph.add_argument("--samples", type=int, default=16)
+    ph.add_argument("--grid", type=int, default=16)
+    ph.add_argument("--lr", type=float, default=0.01)
+    ph.add_argument("--seed", type=int, default=0)
+    ph.add_argument("--window", type=float, default=1.0,
+                    help="tumbling-window width in virtual seconds "
+                         "(one training step per window)")
+    ph.add_argument("--json", action="store_true",
+                    help="emit the machine-readable health report")
+    ph.add_argument("--out", default="health_out")
+    ph.set_defaults(fn=_cmd_health)
 
     pv = sub.add_parser(
         "serve",

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import DeadlockError, MessageDropped, RankError, RankFailure
+from ..telemetry import get_active
 
 __all__ = ["World", "TrafficStats"]
 
@@ -85,10 +86,10 @@ def _payload_bytes(payload) -> int:
 class _DropMarker:
     """Takes a dropped message's place so the receiver observes the loss."""
 
-    __slots__ = ("src", "dst", "tag")
+    __slots__ = ("src", "dst", "tag", "msg_id")
 
-    def __init__(self, src: int, dst: int, tag: int):
-        self.src, self.dst, self.tag = src, dst, tag
+    def __init__(self, src: int, dst: int, tag: int, msg_id: int | None = None):
+        self.src, self.dst, self.tag, self.msg_id = src, dst, tag, msg_id
 
 
 class _DupMarker:
@@ -98,6 +99,22 @@ class _DupMarker:
 
 
 _DUP = _DupMarker()
+
+
+class _Traced:
+    """Envelope pairing a payload with its wire-level trace context.
+
+    Created only while a telemetry session is active, so untraced runs pay
+    nothing per message.  The ``msg_id`` is the cross-rank causal link: the
+    send event and the recv event both carry it, and the Chrome exporter
+    turns each matched pair into a flow arrow between rank lanes.
+    """
+
+    __slots__ = ("payload", "msg_id")
+
+    def __init__(self, payload, msg_id: int):
+        self.payload = payload
+        self.msg_id = msg_id
 
 
 class World:
@@ -117,6 +134,25 @@ class World:
         self.stats = TrafficStats()
         self.fault_injector = fault_injector
         self._failed: set[int] = set()
+        self._msg_seq = 0           # wire-level message ids (trace context)
+
+    # -- trace context -------------------------------------------------------
+
+    def _trace_event(self, tracer, edge: str, src: int, dst: int, tag: int,
+                     msg_id: int, nbytes: int) -> None:
+        """One wire event: a zero-length span on the sender/receiver rank lane.
+
+        ``category="comm.msg"`` events carry ``msg_edge`` + ``msg_id`` args;
+        the Chrome exporter matches send/recv pairs into flow arrows and the
+        critical-path analyzer (:mod:`repro.telemetry.distributed`) turns
+        them into causal edges of the cross-rank span DAG.
+        """
+        now = tracer.clock.now()
+        tracer.emit(
+            f"{edge} {src}->{dst}", start_s=now, duration_s=0.0,
+            category="comm.msg", lane=src if edge == "send" else dst,
+            parent_id=tracer.current_span_id(), msg_edge=edge, msg_id=msg_id,
+            src=src, dst=dst, tag=tag, bytes=nbytes)
 
     # -- failure state -------------------------------------------------------
 
@@ -141,7 +177,13 @@ class World:
     # -- point to point ------------------------------------------------------
 
     def send(self, payload, src: int, dst: int, tag: int = 0) -> None:
-        """Enqueue a message from ``src`` to ``dst``."""
+        """Enqueue a message from ``src`` to ``dst``.
+
+        Under an active telemetry session every send records a trace event
+        (and the payload travels inside a :class:`_Traced` envelope) so the
+        matching recv gains a causal edge; without a session the wire is
+        exactly the old untraced fast path.
+        """
         self._check_rank(src)
         self._check_rank(dst)
         self._check_alive(src)
@@ -151,9 +193,17 @@ class World:
             action = self.fault_injector.message_action(src, dst, tag)
         if isinstance(payload, np.ndarray):
             payload = payload.copy()
+        nbytes = _payload_bytes(payload)
+        tracer = get_active().tracer
+        msg_id = None
+        if tracer.enabled:
+            self._msg_seq += 1
+            msg_id = self._msg_seq
+            self._trace_event(tracer, "send", src, dst, tag, msg_id, nbytes)
+            payload = _Traced(payload, msg_id)
         q = self._queues[(src, dst, tag)]
         if action == "drop":
-            q.append(_DropMarker(src, dst, tag))
+            q.append(_DropMarker(src, dst, tag, msg_id))
             self.stats.dropped_messages[src] += 1
         else:
             q.append(payload)
@@ -161,7 +211,7 @@ class World:
                 q.append(_DUP)
                 self.stats.duplicated_messages[src] += 1
         self.stats.sent_messages[src] += 1
-        self.stats.sent_bytes[src] += _payload_bytes(payload)
+        self.stats.sent_bytes[src] += nbytes
 
     def recv(self, dst: int, src: int, tag: int = 0):
         """Dequeue the next message from ``src`` to ``dst``.
@@ -185,8 +235,20 @@ class World:
             )
         head = q.popleft()
         if isinstance(head, _DropMarker):
+            tel = get_active()
+            if tel.enabled:
+                tel.metrics.counter("comm.dropped_messages").inc()
+                if head.msg_id is not None:
+                    self._trace_event(tel.tracer, "drop", src, dst, tag,
+                                      head.msg_id, 0)
             raise MessageDropped(src, dst, tag)
         self.stats.recv_messages[dst] += 1
+        if isinstance(head, _Traced):
+            tracer = get_active().tracer
+            if tracer.enabled:
+                self._trace_event(tracer, "recv", src, dst, tag, head.msg_id,
+                                  _payload_bytes(head.payload))
+            return head.payload
         return head
 
     def recv_reliable(self, dst: int, src: int, tag: int = 0, *,

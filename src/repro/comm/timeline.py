@@ -16,7 +16,7 @@ from .coordinator import NegotiationResult
 from .horovod import FusionPlan
 
 __all__ = ["TimelineEvent", "build_timeline", "chrome_trace_records",
-           "to_chrome_trace"]
+           "to_chrome_trace", "merge_chrome_traces"]
 
 
 @dataclass(frozen=True)
@@ -74,16 +74,46 @@ def build_timeline(
     return events
 
 
-def chrome_trace_records(events: list[TimelineEvent], pid: int = 0) -> list[dict]:
+def _lane_name(lane: int) -> str:
+    """Stable display name for a timeline lane.
+
+    Lane 0 is the negotiation row; lane ``n`` (n >= 1) is fusion buffer
+    ``n - 1``'s all-reduce row.  Names depend only on the lane index, so
+    repeated :func:`build_timeline` calls serialize identically.
+    """
+    return "negotiate" if lane == 0 else f"allreduce-{lane - 1}"
+
+
+def chrome_trace_records(events: list[TimelineEvent], pid: int = 0, *,
+                         seen_meta: set | None = None,
+                         process_name: str | None = None,
+                         thread_names: dict[int, str] | None = None) -> list[dict]:
     """Serialize events to Chrome trace records (the single serializer).
 
     Both :func:`to_chrome_trace` and the telemetry Chrome exporter
     (:func:`repro.telemetry.export.chrome_trace`, which merges these events
     into the whole-run trace) go through this function, so the event format
     is defined in exactly one place.
+
+    ``process_name`` (when given) and per-lane thread names are emitted as
+    Chrome "M" metadata records exactly once per (pid, lane): ``seen_meta``
+    carries the dedup state across calls, so merging the records of repeated
+    :func:`build_timeline` runs into one document never duplicates metadata.
+    ``thread_names`` overrides the default stable lane names.
     """
-    records = []
+    if seen_meta is None:
+        seen_meta = set()
+    records: list[dict] = []
+    if process_name is not None and ("process_name", pid) not in seen_meta:
+        seen_meta.add(("process_name", pid))
+        records.append({"name": "process_name", "ph": "M", "pid": pid,
+                        "tid": 0, "args": {"name": process_name}})
     for ev in events:
+        if ("thread_name", pid, ev.lane) not in seen_meta:
+            seen_meta.add(("thread_name", pid, ev.lane))
+            name = (thread_names or {}).get(ev.lane, _lane_name(ev.lane))
+            records.append({"name": "thread_name", "ph": "M", "pid": pid,
+                            "tid": ev.lane, "args": {"name": name}})
         records.append({
             "name": ev.name,
             "cat": ev.phase,
@@ -97,14 +127,49 @@ def chrome_trace_records(events: list[TimelineEvent], pid: int = 0) -> list[dict
     return records
 
 
-def to_chrome_trace(events: list[TimelineEvent], path=None) -> dict:
+def _meta_key(rec: dict):
+    """Identity of a Chrome "M" metadata record for cross-document dedup."""
+    if rec.get("ph") != "M":
+        return None
+    return (rec.get("name"), rec.get("pid"), rec.get("tid"))
+
+
+def merge_chrome_traces(*docs: dict) -> dict:
+    """Concatenate Chrome trace documents, dropping duplicate metadata.
+
+    Event records are kept verbatim and in order; "M" records (process and
+    thread names) are deduplicated on (name, pid, tid) with the first
+    occurrence winning, so merging per-step exports of the same exchange
+    yields one clean set of process/thread rows.
+    """
+    merged: list[dict] = []
+    seen: set = set()
+    for doc in docs:
+        for rec in doc.get("traceEvents", []):
+            key = _meta_key(rec)
+            if key is not None:
+                if key in seen:
+                    continue
+                seen.add(key)
+            merged.append(rec)
+    out = {"traceEvents": merged}
+    for doc in docs:
+        for k, v in doc.items():
+            if k != "traceEvents" and k not in out:
+                out[k] = v
+    return out
+
+
+def to_chrome_trace(events: list[TimelineEvent], path=None,
+                    process_name: str = "comm.exchange") -> dict:
     """Build the Chrome tracing document; optionally write it to ``path``.
 
     Returns the trace dict (``json.dumps``-able as-is).  When ``path`` is
     given the document is also written there, ready for
     ``chrome://tracing`` / Perfetto.
     """
-    doc = {"traceEvents": chrome_trace_records(events)}
+    doc = {"traceEvents": chrome_trace_records(
+        events, process_name=process_name)}
     if path is not None:
         from pathlib import Path
 

@@ -115,19 +115,25 @@ class DistributedTrainer:
         all_grads = []
         any_skip = False
         with tracer.span("forward_backward", category="trainer",
-                         step=self._step, ranks=n):
+                         step=self._step, ranks=n) as fb_span:
             for rank, (trainer, (images, labels)) in enumerate(
                     zip(self.trainers, rank_batches)):
                 trainer.model.train(True)
                 trainer.model.zero_grad()
                 with tracer.span("replica_fwd_bwd", category="trainer",
-                                 rank=rank):
+                                 rank=rank) as rank_span:
                     loss = trainer.compute_loss(images, labels)
                     if trainer.scaler is not None:
                         trainer.scaler.scale_loss(loss).backward()
                     else:
                         loss.backward()
                 losses.append(float(loss.item()))
+                # Zero-duration spans (disabled tracer, or a simulated
+                # clock nobody advanced) carry no timing signal — feeding
+                # them would poison windowed imbalance detection.
+                if tel.streams is not None and rank_span.duration_s > 0:
+                    tel.streams.observe("trainer.rank_step_s",
+                                        rank_span.duration_s, rank=rank)
         if self.trainers[0].scaler is not None:
             # Overflow on ANY rank skips the global step (all ranks must act
             # identically or replicas diverge).
@@ -152,7 +158,7 @@ class DistributedTrainer:
                               for p in trainer.model.parameters()
                               if p.grad is not None})
         with tracer.span("gradient_exchange", category="comm",
-                         step=self._step, tensors=len(all_grads[0])):
+                         step=self._step, tensors=len(all_grads[0])) as ex_span:
             if self._compressors is not None:
                 averaged, report = self._compressed_exchange(all_grads)
             else:
@@ -160,7 +166,7 @@ class DistributedTrainer:
                     self.world, all_grads, self.horovod, seed=self._step
                 )
         with tracer.span("optimizer_update", category="trainer",
-                         step=self._step):
+                         step=self._step) as opt_span:
             for trainer, grads in zip(self.trainers, averaged):
                 for p in trainer.model.parameters():
                     if p.name in grads:
@@ -172,6 +178,13 @@ class DistributedTrainer:
             m.gauge("dist.mean_loss").set(float(np.mean(losses)))
             m.counter("comm.exchange_messages").inc(report.data_messages)
             m.counter("comm.exchange_bytes").inc(report.data_bytes)
+        if tel.streams is not None:
+            step_s = (fb_span.duration_s + ex_span.duration_s
+                      + opt_span.duration_s)
+            if step_s > 0:
+                tel.streams.observe("trainer.step_time_s", step_s)
+                tel.streams.observe("comm.exchange_time_s",
+                                    ex_span.duration_s)
         self._step += 1
         return DistributedStepResult(
             mean_loss=float(np.mean(losses)), per_rank_loss=losses,

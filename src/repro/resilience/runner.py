@@ -99,6 +99,7 @@ def run_resilient_training(
     retry: RetryPolicy | None = None,
     max_step_retries: int = 3,
     resume: bool = True,
+    on_step=None,
 ) -> ResilienceReport:
     """Train ``steps`` global steps under ``plan``; returns the report.
 
@@ -108,6 +109,14 @@ def run_resilient_training(
     re-sharded data assignment.  Faults listed in ``plan`` are injected at
     their scheduled steps; a run with ``plan=None`` is the fault-free
     baseline the CLI compares against.
+
+    ``on_step(step, result, trainer, original_ids)`` is called after each
+    completed step (before telemetry sampling) — the hook the health drill
+    uses to advance a simulated clock and emit virtual per-rank spans.
+    When the active telemetry session has streaming/health layers attached
+    (:meth:`repro.telemetry.Telemetry.attach_health`), every completed step
+    samples the registry into the stream, closes due windows, and runs the
+    health rules — so alerts fire *during* the run, not post hoc.
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
@@ -201,6 +210,13 @@ def run_resilient_training(
                 continue
         report.losses.append(result.mean_loss)
         report.steps_completed += 1
+        if on_step is not None:
+            on_step(step, result, trainer, original_ids)
+        if tel.streams is not None:
+            tel.streams.sample(tel.metrics)
+            tel.streams.advance()
+        if tel.health is not None:
+            tel.health.evaluate()
         if (manager is not None and checkpoint_every > 0
                 and (step + 1) % checkpoint_every == 0):
             with tracer.span("checkpoint_save", category="resilience",

@@ -237,6 +237,11 @@ class InferenceServer:
                 tel.metrics.counter("serve.served", lane=req.lane).inc()
                 tel.metrics.histogram("serve.latency_s",
                                       lane=req.lane).observe(resp.latency_s)
+                if tel.streams is not None:
+                    # Streamed at the request's *virtual* completion time so
+                    # windowed latency/SLO-burn rules see server-clock time.
+                    tel.streams.observe("serve.latency_s", resp.latency_s,
+                                        t=comp_t, lane=req.lane)
                 tracer.emit(
                     "request", start_s=tracer.epoch + req.arrival_s,
                     duration_s=resp.latency_s, category="serve",

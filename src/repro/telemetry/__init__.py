@@ -36,10 +36,23 @@ from .metrics import (
     MetricsRegistry,
     series_key,
 )
+from .distributed import CrossRankTrace, MessageLink, StepBreakdown
+from .health import Alert, HealthEngine, HealthRule, default_health_rules
 from .session import DISABLED, Telemetry, activate, get_active, set_active
+from .streaming import Ewma, StreamingAggregator, WindowSummary
 from .tracer import NULL_SPAN, Span, Tracer, traced
 
 __all__ = [
+    "CrossRankTrace",
+    "MessageLink",
+    "StepBreakdown",
+    "StreamingAggregator",
+    "WindowSummary",
+    "Ewma",
+    "HealthEngine",
+    "HealthRule",
+    "Alert",
+    "default_health_rules",
     "Telemetry",
     "activate",
     "get_active",

@@ -26,7 +26,8 @@ __all__ = [
 
 # Preferred process-row order in the trace viewer; unknown categories are
 # appended alphabetically after these.
-_CATEGORY_ORDER = ("trainer", "io", "comm", "resilience", "sim", "app")
+_CATEGORY_ORDER = ("trainer", "io", "comm", "comm.msg", "serve",
+                   "resilience", "health", "sim", "app")
 
 
 def _category_pids(spans: list[Span]) -> dict[str, int]:
@@ -54,9 +55,13 @@ def chrome_trace(spans: list[Span], comm_events=None,
         pid = pids[s.category]
         if (pid, s.lane) not in lanes_seen:
             lanes_seen.add((pid, s.lane))
+            # Wire-message lanes are rank lanes: name them stably so the
+            # merged cross-rank trace reads "rank N", not "lane-N".
+            lane_name = (f"rank {s.lane}" if s.category == "comm.msg"
+                         else f"lane-{s.lane}")
             records.append({"name": "thread_name", "ph": "M", "pid": pid,
                             "tid": s.lane,
-                            "args": {"name": f"lane-{s.lane}"}})
+                            "args": {"name": lane_name}})
         rec = {
             "name": s.name,
             "cat": s.category,
@@ -73,13 +78,24 @@ def chrome_trace(spans: list[Span], comm_events=None,
             rec["ph"] = "X"
             rec["dur"] = max(s.duration_us, 0.01)
         records.append(rec)
+        # Matched send/recv events additionally emit Chrome flow records,
+        # which the trace viewer renders as an arrow between rank lanes.
+        edge = s.args.get("msg_edge")
+        if edge in ("send", "recv") and "msg_id" in s.args:
+            flow = {"name": "msg", "cat": s.category, "id": s.args["msg_id"],
+                    "ts": s.start_us, "pid": pid, "tid": s.lane}
+            if edge == "send":
+                flow["ph"] = "s"
+            else:
+                flow["ph"] = "f"
+                flow["bp"] = "e"
+            records.append(flow)
     if comm_events:
         from ..comm.timeline import chrome_trace_records
 
         comm_pid = max(pids.values(), default=0) + 1
-        records.append({"name": "process_name", "ph": "M", "pid": comm_pid,
-                        "tid": 0, "args": {"name": comm_process}})
-        records.extend(chrome_trace_records(comm_events, pid=comm_pid))
+        records.extend(chrome_trace_records(comm_events, pid=comm_pid,
+                                            process_name=comm_process))
     return {"traceEvents": records, "displayTimeUnit": "ms"}
 
 

@@ -90,8 +90,11 @@ class Histogram:
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        value = float(value)
+        if value != value:          # NaN would poison every percentile
+            raise ValueError("histogram sample must not be NaN")
         with self._lock:
-            self._values.append(float(value))
+            self._values.append(value)
 
     @property
     def count(self) -> int:

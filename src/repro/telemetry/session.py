@@ -36,15 +36,45 @@ class Telemetry:
 
     def __init__(self, enabled: bool = True, clock=None):
         self.enabled = bool(enabled)
+        self.clock = self.tracer = None  # set below (clock via tracer)
         self.tracer = Tracer(clock=clock, enabled=enabled)
+        self.clock = self.tracer.clock
         self.metrics = MetricsRegistry(enabled=enabled)
+        # Optional streaming/health layers; None until attached, so
+        # instrumented code guards with ``tel.streams is not None``.
+        self.streams = None
+        self.health = None
 
     def span(self, name: str, category: str = "app", **args):
         return self.tracer.span(name, category=category, **args)
 
+    def attach_streams(self, window_s: float = 1.0, **kwargs):
+        """Attach a :class:`~repro.telemetry.streaming.StreamingAggregator`
+        on this session's clock; returns it (idempotent)."""
+        if self.streams is None:
+            from .streaming import StreamingAggregator
+
+            self.streams = StreamingAggregator(
+                clock=self.clock, window_s=window_s, **kwargs)
+        return self.streams
+
+    def attach_health(self, rules=None, window_s: float = 1.0, **kwargs):
+        """Attach a :class:`~repro.telemetry.health.HealthEngine` (creating
+        the streaming layer if needed); returns it (idempotent)."""
+        if self.health is None:
+            from .health import HealthEngine, default_health_rules
+
+            streams = self.attach_streams(window_s=window_s)
+            self.health = HealthEngine(
+                rules if rules is not None else default_health_rules(**kwargs),
+                streams, telemetry=self)
+        return self.health
+
     def clear(self) -> None:
         self.tracer.clear()
         self.metrics.__init__(enabled=self.enabled)
+        self.streams = None
+        self.health = None
 
 
 DISABLED = Telemetry(enabled=False)

@@ -1,0 +1,289 @@
+"""Streaming time-windowed aggregation over telemetry series.
+
+The registry (:mod:`repro.telemetry.metrics`) is cumulative — perfect for
+end-of-run reports, useless for *control*: an autoscaler or health rule
+needs "requests/s over the last window", not "requests since boot".  This
+module adds the streaming layer:
+
+* **Tumbling windows** — observations land in aligned ``floor(t / width)``
+  buckets; :meth:`StreamingAggregator.advance` closes every bucket strictly
+  before the current one and publishes a :class:`WindowSummary` per series.
+* **EWMA tracking** — each series keeps an exponentially-weighted mean and
+  variance of its closed-window means (half-life in seconds), the baseline
+  the health engine's anomaly rules compare against.
+* **Pull sampling** — :meth:`StreamingAggregator.sample` diffs a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot into windowed
+  observations (counter deltas, gauge values, new histogram samples), so
+  existing instrumentation feeds the stream without changes.
+* **Subscriptions** — ``subscribe("serve.latency*", fn)`` delivers every
+  closed window of matching series; this is the API ``repro.serve`` and a
+  future autoscaler consume.
+
+All timestamps are seconds on the session clock's timeline, so a
+:class:`~repro.telemetry.clock.SimulatedClock` drives windows in virtual
+time deterministically.
+"""
+from __future__ import annotations
+
+import fnmatch
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import MetricsRegistry, series_key
+
+__all__ = ["WindowSummary", "Ewma", "StreamingAggregator"]
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """One series' aggregate over one closed tumbling window."""
+
+    series: str
+    start: float
+    end: float
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    last: float
+    rate: float          # total / window width (per-second)
+    median: float
+    p16: float
+    p84: float
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "series": self.series, "start": self.start, "end": self.end,
+            "count": self.count, "total": self.total, "mean": self.mean,
+            "min": self.minimum, "max": self.maximum, "last": self.last,
+            "rate": self.rate, "median": self.median, "p16": self.p16,
+            "p84": self.p84,
+        }
+
+
+class Ewma:
+    """Exponentially-weighted mean/variance with a time-based half-life."""
+
+    __slots__ = ("halflife_s", "mean", "var", "updates", "_last_t")
+
+    def __init__(self, halflife_s: float):
+        if halflife_s <= 0:
+            raise ValueError("halflife_s must be positive")
+        self.halflife_s = float(halflife_s)
+        self.mean = 0.0
+        self.var = 0.0
+        self.updates = 0
+        self._last_t: float | None = None
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(max(self.var, 0.0))
+
+    def update(self, value: float, t: float) -> None:
+        value = float(value)
+        if self._last_t is None:
+            self.mean, self.var = value, 0.0
+        else:
+            dt = max(t - self._last_t, 0.0)
+            alpha = 1.0 - 0.5 ** (dt / self.halflife_s) if dt > 0 else 0.5
+            diff = value - self.mean
+            incr = alpha * diff
+            self.mean += incr
+            self.var = (1.0 - alpha) * (self.var + diff * incr)
+        self._last_t = t
+        self.updates += 1
+
+    def zscore(self, value: float) -> float:
+        """How many EW standard deviations ``value`` sits from the mean."""
+        if self.updates < 1:
+            return 0.0
+        std = self.std
+        if std <= 1e-12:
+            return 0.0 if value == self.mean else math.inf
+        return (value - self.mean) / std
+
+
+class StreamingAggregator:
+    """Tumbling-window + EWMA aggregation with subscriptions.
+
+    Parameters
+    ----------
+    clock:
+        Timestamp source for observations without an explicit ``t``; pass
+        the session's clock (simulated or wall).
+    window_s:
+        Tumbling window width in (virtual) seconds.
+    ewma_halflife_s:
+        Half-life of each series' EWMA baseline; defaults to 8 windows.
+    keep_windows:
+        Closed summaries retained per series (ring-buffer semantics).
+    """
+
+    def __init__(self, clock=None, window_s: float = 1.0,
+                 ewma_halflife_s: float | None = None,
+                 keep_windows: int = 256):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.clock = clock
+        self.window_s = float(window_s)
+        self.ewma_halflife_s = float(ewma_halflife_s
+                                     if ewma_halflife_s is not None
+                                     else 8 * window_s)
+        self.keep_windows = int(keep_windows)
+        # series -> window index -> list of values (open buckets)
+        self._open: dict[str, dict[int, list[float]]] = defaultdict(dict)
+        self._closed: dict[str, list[WindowSummary]] = defaultdict(list)
+        self._ewma: dict[str, Ewma] = {}
+        self._log: list[WindowSummary] = []      # global closed-window log
+        self._subs: dict[int, tuple[str, object]] = {}
+        self._sub_seq = 0
+        # pull-sampling cursors into a MetricsRegistry
+        self._counter_seen: dict[str, float] = {}
+        self._hist_seen: dict[str, int] = {}
+
+    # -- ingest --------------------------------------------------------------
+
+    def _now(self) -> float:
+        if self.clock is None:
+            raise ValueError("no clock configured; pass t= explicitly")
+        return self.clock.now()
+
+    def observe(self, name: str, value: float, t: float | None = None,
+                **labels) -> None:
+        """Record one observation of ``name{labels}`` at time ``t``."""
+        t = self._now() if t is None else float(t)
+        idx = int(math.floor(t / self.window_s))
+        key = series_key(name, labels)
+        self._open[key].setdefault(idx, []).append(float(value))
+
+    def sample(self, registry: MetricsRegistry | dict,
+               t: float | None = None) -> int:
+        """Diff a registry snapshot into the stream; returns observations.
+
+        Counters contribute their *delta* since the previous sample (so a
+        closed window's ``total``/``rate`` read as events per window /
+        per second); gauges contribute their current value; histograms
+        contribute each raw sample not seen by a previous call.
+        """
+        t = self._now() if t is None else float(t)
+        n = 0
+        if isinstance(registry, MetricsRegistry):
+            counters = {k: c.value for k, c in registry._counters.items()}
+            hist_values = {k: h.values()
+                           for k, h in registry._histograms.items()}
+            gauges = {k: g.value for k, g in registry._gauges.items()
+                      if g.updates}
+        else:
+            counters = dict(registry.get("counters", {}))
+            gauges = {k: v["value"]
+                      for k, v in registry.get("gauges", {}).items()}
+            hist_values = {}
+        for key, value in counters.items():
+            delta = value - self._counter_seen.get(key, 0.0)
+            self._counter_seen[key] = value
+            if delta:
+                self.observe(key, delta, t=t)
+                n += 1
+        for key, value in gauges.items():
+            self.observe(key, value, t=t)
+            n += 1
+        for key, values in hist_values.items():
+            seen = self._hist_seen.get(key, 0)
+            fresh = values[seen:]
+            self._hist_seen[key] = int(values.size)
+            for v in fresh:
+                self.observe(key, float(v), t=t)
+                n += 1
+        return n
+
+    # -- window lifecycle ----------------------------------------------------
+
+    def advance(self, t: float | None = None) -> list[WindowSummary]:
+        """Close every window strictly before ``floor(t / width)``.
+
+        Returns the newly closed summaries (also appended to per-series
+        history, folded into EWMAs, and delivered to subscribers), ordered
+        by window start then series name.
+        """
+        t = self._now() if t is None else float(t)
+        horizon = int(math.floor(t / self.window_s))
+        closing: list[tuple[int, str, list[float]]] = []
+        for key, buckets in self._open.items():
+            for idx in [i for i in buckets if i < horizon]:
+                closing.append((idx, key, buckets.pop(idx)))
+        closing.sort(key=lambda item: (item[0], item[1]))
+        out: list[WindowSummary] = []
+        for idx, key, values in closing:
+            arr = np.asarray(values, dtype=np.float64)
+            p16, med, p84 = np.percentile(arr, [16, 50, 84])
+            start = idx * self.window_s
+            end = start + self.window_s
+            summary = WindowSummary(
+                series=key, start=start, end=end, count=int(arr.size),
+                total=float(arr.sum()), mean=float(arr.mean()),
+                minimum=float(arr.min()), maximum=float(arr.max()),
+                last=float(arr[-1]), rate=float(arr.sum()) / self.window_s,
+                median=float(med), p16=float(p16), p84=float(p84),
+            )
+            history = self._closed[key]
+            history.append(summary)
+            del history[:-self.keep_windows]
+            ewma = self._ewma.get(key)
+            if ewma is None:
+                ewma = self._ewma[key] = Ewma(self.ewma_halflife_s)
+            ewma.update(summary.mean, summary.end)
+            self._log.append(summary)
+            out.append(summary)
+            for pattern, fn in list(self._subs.values()):
+                if fnmatch.fnmatchcase(key, pattern):
+                    fn(summary)
+        return out
+
+    # -- queries -------------------------------------------------------------
+
+    def series_names(self) -> list[str]:
+        return sorted(set(self._closed) | set(self._open))
+
+    def latest(self, series: str) -> WindowSummary | None:
+        history = self._closed.get(series)
+        return history[-1] if history else None
+
+    def summaries(self, series: str, n: int | None = None) -> list[WindowSummary]:
+        history = self._closed.get(series, [])
+        return list(history if n is None else history[-n:])
+
+    def ewma(self, series: str) -> Ewma | None:
+        return self._ewma.get(series)
+
+    def closed_since(self, cursor: int) -> tuple[int, list[WindowSummary]]:
+        """Closed windows appended after ``cursor``; returns (new cursor, batch).
+
+        The health engine's pull loop: keep the returned cursor, call again
+        to receive only what closed in between.
+        """
+        batch = self._log[cursor:]
+        return len(self._log), batch
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(self, pattern: str, fn) -> int:
+        """Call ``fn(summary)`` for every closed window matching ``pattern``.
+
+        ``pattern`` is an ``fnmatch``-style glob over full series keys
+        (e.g. ``"serve.latency_s*"`` matches every lane label).  Returns a
+        subscription id for :meth:`unsubscribe`.
+        """
+        self._sub_seq += 1
+        self._subs[self._sub_seq] = (pattern, fn)
+        return self._sub_seq
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        return self._subs.pop(sub_id, None) is not None

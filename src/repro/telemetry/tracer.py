@@ -190,6 +190,16 @@ class Tracer:
         ))
         return span_id
 
+    def current_span_id(self) -> int | None:
+        """Span id of the innermost open span on this thread (or None).
+
+        Lets out-of-band recorders (the simmpi wire's message events) parent
+        their records under whatever span the caller has open, giving the
+        cross-rank trace causal anchors without threading ids around.
+        """
+        stack = self._stack()
+        return stack[-1] if stack else None
+
     def spans(self) -> list[Span]:
         """Snapshot of all finished spans, in completion order."""
         with self._lock:

@@ -10,7 +10,7 @@ from repro.analysis import FileContext
 from repro.analysis.rules import (BroadExcept, CollectiveInRankBranch,
                                   DeprecatedCheckpointApi,
                                   Float16OutsidePrecision, MutableDefaultArg,
-                                  UnseededRng)
+                                  RawTimeCall, UnseededRng)
 
 
 def check(rule, source, rel_path="src/repro/scratch.py"):
@@ -263,4 +263,65 @@ class TestFloat16OutsidePrecision:
             import numpy as np
             y = x.astype(np.float32)
             """, rel_path="src/repro/core/helper.py")
+        assert findings == []
+
+
+class TestRawTimeCall:
+    def test_module_attribute_call_flagged(self):
+        findings = check(RawTimeCall(), """\
+            import time
+
+            def measure():
+                t0 = time.perf_counter()
+                return time.perf_counter() - t0
+            """)
+        assert len(findings) == 2
+        assert all(f.rule_id == "RPR008" for f in findings)
+        assert "telemetry session clock" in findings[0].message
+
+    def test_aliased_import_and_from_import_flagged(self):
+        findings = check(RawTimeCall(), """\
+            import time as _t
+            from time import perf_counter as pc
+
+            def stamp():
+                return _t.monotonic() + pc()
+            """)
+        assert len(findings) == 2
+
+    def test_clock_module_exempt(self):
+        findings = check(RawTimeCall(), """\
+            import time
+
+            def now():
+                return time.perf_counter()
+            """, rel_path="src/repro/telemetry/clock.py")
+        assert findings == []
+
+    def test_uninstrumented_paths_clean(self):
+        source = """\
+            import time
+
+            def now():
+                return time.time()
+            """
+        assert check(RawTimeCall(), source, rel_path="tools/bench.py") == []
+        assert check(RawTimeCall(), source,
+                     rel_path="tests/perf/test_x.py") == []
+
+    def test_non_clock_time_functions_clean(self):
+        findings = check(RawTimeCall(), """\
+            import time
+
+            def nap():
+                time.sleep(0.1)
+                return time.strftime("%H:%M")
+            """)
+        assert findings == []
+
+    def test_unimported_time_name_clean(self):
+        findings = check(RawTimeCall(), """\
+            def use(time):
+                return time.perf_counter()   # some other object named time
+            """)
         assert findings == []

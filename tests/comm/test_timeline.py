@@ -11,6 +11,7 @@ from repro.comm import (
     hierarchical_negotiation,
     to_chrome_trace,
 )
+from repro.comm.timeline import chrome_trace_records, merge_chrome_traces
 
 
 @pytest.fixture()
@@ -69,8 +70,10 @@ class TestTimeline:
         doc = to_chrome_trace(build_timeline(negotiation, fusion, names))
         doc = json.loads(json.dumps(doc))     # must be JSON-serializable
         assert "traceEvents" in doc
+        assert {rec["ph"] for rec in doc["traceEvents"]} == {"M", "X"}
         for rec in doc["traceEvents"]:
-            assert rec["ph"] == "X"
+            if rec["ph"] != "X":
+                continue                      # lane/process metadata records
             assert rec["dur"] > 0
             assert set(rec) >= {"name", "cat", "ts", "pid", "tid"}
 
@@ -82,9 +85,81 @@ class TestTimeline:
         assert out.exists()
         on_disk = json.loads(out.read_text())
         assert on_disk == doc
-        assert len(doc["traceEvents"]) == len(events)
+        xs = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert len(xs) == len(events)
 
     def test_name_count_mismatch_rejected(self, exchange):
         names, negotiation, fusion = exchange
         with pytest.raises(ValueError):
             build_timeline(negotiation, fusion, names[:-1])
+
+
+class TestChromeMetadata:
+    def test_metadata_emitted_once_per_lane(self, exchange):
+        names, negotiation, fusion = exchange
+        events = build_timeline(negotiation, fusion, names)
+        records = chrome_trace_records(events, pid=3,
+                                       process_name="comm.exchange")
+        meta = [r for r in records if r["ph"] == "M"]
+        keys = [(r["name"], r["pid"], r.get("tid")) for r in meta]
+        assert len(keys) == len(set(keys))          # no duplicates
+        proc = [r for r in meta if r["name"] == "process_name"]
+        assert len(proc) == 1
+        assert proc[0]["args"]["name"] == "comm.exchange"
+
+    def test_lane_zero_named_negotiate(self, exchange):
+        names, negotiation, fusion = exchange
+        events = build_timeline(negotiation, fusion, names)
+        records = chrome_trace_records(events)
+        threads = {r["tid"]: r["args"]["name"] for r in records
+                   if r["ph"] == "M" and r["name"] == "thread_name"}
+        assert threads[0] == "negotiate"
+        assert all(name.startswith("allreduce-")
+                   for tid, name in threads.items() if tid != 0)
+
+    def test_seen_meta_dedupes_across_calls(self, exchange):
+        names, negotiation, fusion = exchange
+        events = build_timeline(negotiation, fusion, names)
+        seen = set()
+        first = chrome_trace_records(events, seen_meta=seen)
+        second = chrome_trace_records(events, seen_meta=seen)
+        assert any(r["ph"] == "M" for r in first)
+        assert not any(r["ph"] == "M" for r in second)
+
+
+class TestMergeChromeTraces:
+    def test_merge_keeps_first_metadata_and_all_events(self):
+        a = {"traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 1,
+             "args": {"name": "one"}},
+            {"ph": "X", "name": "e1", "cat": "c", "ts": 0, "dur": 1,
+             "pid": 1, "tid": 0}]}
+        b = {"traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 1,
+             "args": {"name": "two"}},      # duplicate key: dropped
+            {"ph": "X", "name": "e2", "cat": "c", "ts": 5, "dur": 1,
+             "pid": 1, "tid": 0}],
+             "displayTimeUnit": "ms"}
+        merged = merge_chrome_traces(a, b)
+        meta = [r for r in merged["traceEvents"] if r["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["args"]["name"] == "one"    # first doc wins
+        assert [r["name"] for r in merged["traceEvents"]
+                if r["ph"] == "X"] == ["e1", "e2"]
+        assert merged["displayTimeUnit"] == "ms"   # extra keys preserved
+
+    def test_merge_distinct_pids_keep_both_metas(self):
+        docs = [{"traceEvents": [{"ph": "M", "name": "process_name",
+                                  "pid": p, "args": {"name": f"p{p}"}}]}
+                for p in (1, 2)]
+        merged = merge_chrome_traces(*docs)
+        assert len(merged["traceEvents"]) == 2
+
+    def test_merged_doc_is_json_serializable(self, exchange):
+        names, negotiation, fusion = exchange
+        events = build_timeline(negotiation, fusion, names)
+        doc = to_chrome_trace(events)
+        merged = merge_chrome_traces(doc, doc)
+        json.loads(json.dumps(merged))
+        xs = [r for r in merged["traceEvents"] if r["ph"] == "X"]
+        assert len(xs) == 2 * len(events)          # events never deduped

@@ -105,3 +105,35 @@ class TestDisabled:
         reg.histogram("h").observe(1.0)
         snap = reg.snapshot()
         assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestHistogramEdgeCases:
+    def test_single_sample_collapses_every_percentile(self):
+        h = MetricsRegistry().histogram("one")
+        h.observe(2.5)
+        s = h.summary()
+        assert s.count == 1
+        assert (s.mean, s.min, s.max) == (2.5, 2.5, 2.5)
+        assert s.median == s.p16 == s.p84 == s.p99 == 2.5
+
+    def test_all_identical_samples_have_zero_spread(self):
+        h = MetricsRegistry().histogram("flat")
+        for _ in range(100):
+            h.observe(7.0)
+        s = h.summary()
+        assert s.count == 100
+        assert s.p16 == s.median == s.p84 == 7.0
+        stats = h.central68()
+        assert stats.err_plus == 0.0 and stats.err_minus == 0.0
+
+    def test_nan_sample_rejected(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(0.1)
+        with pytest.raises(ValueError):
+            h.observe(float("nan"))
+        assert h.count == 1          # the poison sample never landed
+        assert np.isfinite(h.summary().median)
+
+    def test_empty_histogram_central68_is_zero(self):
+        stats = MetricsRegistry().histogram("empty").central68()
+        assert (stats.median, stats.lo, stats.hi) == (0.0, 0.0, 0.0)

@@ -85,6 +85,59 @@ class TestCli:
         assert (out / "ckpts").exists()
         assert (out / "metrics.txt").exists()
 
+    def test_trace_json_mode_merges_serve_and_matches_messages(self, capsys,
+                                                               tmp_path):
+        import json
+
+        out = tmp_path / "trace_out"
+        assert main(["trace", "--samples", "8", "--steps", "2",
+                     "--grid", "16", "--ranks", "2", "--serve-requests", "8",
+                     "--json", "--out", str(out)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # Every simmpi message on a clean run pairs its send with its recv.
+        msgs = doc["messages"]
+        assert msgs["total"] > 0
+        assert msgs["matched"] == msgs["total"]
+        assert msgs["unmatched"] == 0 and msgs["dropped"] == 0
+        # Serve spans merged into the same trace as the training run.
+        assert doc["components"].get("serve", 0) > 0
+        assert doc["components"]["comm.msg"] == 2 * msgs["total"]
+        # Per-step attribution partitions each step's elapsed time.
+        for step in doc["steps"]:
+            parts = (step["compute_s"] + step["comm_s"] + step["io_s"]
+                     + step["stall_s"])
+            assert parts == pytest.approx(step["total_s"], rel=1e-6)
+        assert set(doc["phase_summary"]) == {"compute", "comm", "io",
+                                             "stall"}
+
+    def test_health_drill_names_straggler_and_resolves(self, capsys,
+                                                       tmp_path):
+        import json
+
+        out = tmp_path / "health_out"
+        assert main(["health", "--ranks", "4", "--steps", "8",
+                     "--samples", "16", "--grid", "16",
+                     "--json", "--out", str(out)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # The ISSUE acceptance drill: the injected straggler (rank 3 in the
+        # default plan) is named, and at least one rule fired and resolved.
+        assert doc["straggler_rank"] == 3
+        assert doc["alerts_fired"] >= 1
+        assert doc["alerts_resolved"] >= 1
+        states = {a["state"] for a in doc["health"]["alerts"]}
+        assert "resolved" in states
+        assert (out / "trace.json").exists()
+
+    def test_health_text_dashboard(self, capsys, tmp_path):
+        out = tmp_path / "health_out"
+        assert main(["health", "--ranks", "4", "--steps", "8",
+                     "--samples", "16", "--grid", "16",
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "rules:" in printed
+        assert "rank_imbalance" in printed
+        assert "straggler" in printed
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
