@@ -106,7 +106,7 @@ def collect(profile: str = "quick"):
 
     shape = (1, 8, 48, 64) if profile == "smoke" else SHAPE
     stats = _speedups(profile, shape)
-    band = {"fwd": 0.35, "wgrad": 0.35, "dgrad": 0.40, "depthwise_fwd": 0.40}
+    band = {"fwd": 0.35, "wgrad": 0.35, "dgrad": 0.40}
     metrics = []
     for name, st in stats.items():
         planned = st["planned"]

@@ -27,6 +27,8 @@ RPR007 stale-suppression            info     yes   disable comment matching
 RPR008 raw-time-call                warning  no    bypasses the telemetry
                                                    clock (breaks virtual
                                                    time)
+RPR009 deprecated-allreduce-api     warning  yes   bypasses the comm strategy
+                                                   registry facade
 ====== ============================ ======== ===== =========================
 """
 from __future__ import annotations
@@ -47,6 +49,7 @@ __all__ = [
     "Float16OutsidePrecision",
     "StaleSuppression",
     "RawTimeCall",
+    "DeprecatedAllreduceApi",
     "DEFAULT_RULES",
     "default_rules",
     "rule_catalog",
@@ -600,6 +603,76 @@ class RawTimeCall(Rule):
 
 
 # ---------------------------------------------------------------------------
+# RPR009 — deprecated free-function allreduce entrypoints
+# ---------------------------------------------------------------------------
+
+#: Deprecated free function -> facade strategy name.
+_DEPRECATED_ALLREDUCE = {
+    "naive_allreduce": "naive",
+    "ring_allreduce": "ring",
+    "tree_allreduce": "tree",
+    "hierarchical_allreduce": "hierarchical",
+}
+
+
+class DeprecatedAllreduceApi(Rule):
+    id = "RPR009"
+    name = "deprecated-allreduce-api"
+    severity = "warning"
+    description = ("The free-function allreduce entrypoints "
+                   "(naive/ring/tree/hierarchical_allreduce) are deprecated: "
+                   "they bypass the CommStrategy registry, so the adaptive "
+                   "engine's cost models and autotuning never see the call. "
+                   "Use repro.comm.allreduce(world, buffers, "
+                   "strategy=...).")
+    autofix = True
+
+    #: The wrappers' home and the facade that re-exports the private impls.
+    exempt_suffixes = ("comm/reducer.py", "comm/api.py")
+
+    def _call_edits(self, ctx: FileContext, node: ast.Call,
+                    strategy: str) -> tuple[Edit, ...]:
+        """Rewrite ``ring_allreduce(w, bufs, ...)`` to the facade call.
+
+        Only safe when the callee is a plain name and every strategy knob is
+        already a keyword (a positional third argument would land in the
+        facade's keyword-only section and break).
+        """
+        func = node.func
+        if not isinstance(func, ast.Name) or len(node.args) > 2:
+            return ()
+        segment = ctx.segment(node)
+        if segment is None or not segment.endswith(")"):
+            return ()
+        name_edit = Edit(func.lineno, func.col_offset,
+                         func.end_lineno, func.end_col_offset, "allreduce")
+        inner = segment[:-1]
+        insert = (f' strategy="{strategy}"' if inner.rstrip().endswith(",")
+                  else f', strategy="{strategy}"')
+        close = Edit(node.end_lineno, node.end_col_offset - 1,
+                     node.end_lineno, node.end_col_offset - 1, insert)
+        return (name_edit, close)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.rel_path.endswith(self.exempt_suffixes):
+            return []
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in _DEPRECATED_ALLREDUCE:
+                continue
+            strategy = _DEPRECATED_ALLREDUCE[name]
+            findings.append(self.node_finding(
+                ctx, node,
+                f"'{name}' is deprecated; use repro.comm.allreduce(world, "
+                f"buffers, strategy=\"{strategy}\", ...)",
+                edits=self._call_edits(ctx, node, strategy)))
+        return findings
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -612,6 +685,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     Float16OutsidePrecision,
     StaleSuppression,
     RawTimeCall,
+    DeprecatedAllreduceApi,
 )
 
 

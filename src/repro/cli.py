@@ -397,6 +397,127 @@ def _cmd_faults(args) -> int:
     return 0 if recovered else 1
 
 
+def _cmd_comm_drill(args) -> int:
+    """Communication drill: compressed training must track dense training.
+
+    Runs the same seeded multi-rank training twice through the adaptive
+    gradient-exchange engine — once dense, once with lossy compression and
+    error feedback — and compares the final models' weighted eval loss on a
+    fixed batch set.  Also reports what the engine did on the wire (fused
+    collectives, bytes, per-bucket algorithm choices, overlap).  Exit code 1
+    when the compressed run misses ``--tolerance``.
+    """
+    import json
+
+    import numpy as np
+
+    from .climate import ClimateDataset, Grid, class_frequencies
+    from .comm import EngineConfig
+    from .core import TrainConfig
+    from .core.networks import Tiramisu, TiramisuConfig
+    from .perf import format_table
+    from .resilience import mean_eval_loss, run_resilient_training
+
+    if args.steps < 1 or args.ranks < 2 or args.samples < 1:
+        raise SystemExit(
+            "comm-drill: needs --steps >= 1, --ranks >= 2, --samples >= 1")
+    grid = Grid(args.grid, args.grid * 3 // 2)
+    dataset = ClimateDataset.synthesize(grid, num_samples=args.samples,
+                                        seed=args.seed, channels=4)
+    freqs = class_frequencies(dataset.labels)
+
+    def factory():
+        return Tiramisu(
+            TiramisuConfig(in_channels=4, base_filters=8, growth=8,
+                           down_layers=(2,), bottleneck_layers=2,
+                           kernel=3, dropout=0.0),
+            rng=np.random.default_rng(args.seed))
+
+    def provider(step, rank, world_size):
+        idx = (step * world_size + rank) % len(dataset)
+        return dataset.images[idx:idx + 1], dataset.labels[idx:idx + 1]
+
+    eval_idx = list(dataset.splits.validation) + list(dataset.splits.train)
+    eval_batches = [(dataset.images[i:i + 1], dataset.labels[i:i + 1])
+                    for i in eval_idx[:8]]
+    config = TrainConfig(lr=args.lr, optimizer="larc")
+    bucket_bytes = args.bucket_kb * 1024
+
+    dense = run_resilient_training(
+        factory, config, args.ranks, provider, steps=args.steps,
+        class_frequencies=freqs,
+        engine=EngineConfig(bucket_bytes=bucket_bytes))
+    dense_loss = mean_eval_loss(dense.trainer, eval_batches)
+    dense_report = dense.trainer.engine.last_report
+
+    compressed = run_resilient_training(
+        factory, config, args.ranks, provider, steps=args.steps,
+        class_frequencies=freqs,
+        engine=EngineConfig(bucket_bytes=bucket_bytes,
+                            compression=args.compression,
+                            compression_ratio=args.ratio))
+    comp_loss = mean_eval_loss(compressed.trainer, eval_batches)
+    comp_report = compressed.trainer.engine.last_report
+
+    rel = (abs(comp_loss - dense_loss) / abs(dense_loss)
+           if dense_loss else float("inf"))
+    converged = rel <= args.tolerance
+    num_tensors = sum(len(g) for g in (dense_report.fusion.groups or []))
+    doc = {
+        "ranks": args.ranks,
+        "steps": args.steps,
+        "compression": args.compression,
+        "compression_ratio_setting": args.ratio,
+        "gradient_tensors": num_tensors,
+        "fused_collectives": dense_report.fusion.num_collectives,
+        "collective_reduction": (num_tensors
+                                 / dense_report.fusion.num_collectives),
+        "dense": {
+            "eval_loss": dense_loss,
+            "wire_bytes": dense_report.wire_bytes,
+            "decisions": {str(k): v
+                          for k, v in sorted(dense_report.decisions.items())},
+            "overlap_fraction": dense_report.overlap_fraction,
+        },
+        "compressed": {
+            "eval_loss": comp_loss,
+            "wire_bytes": comp_report.wire_bytes,
+            "measured_compression": comp_report.compression_ratio,
+        },
+        "relative_difference": rel,
+        "tolerance": args.tolerance,
+        "converged": converged,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        algos = ", ".join(f"{k}:{v}"
+                          for k, v in sorted(dense_report.decisions.items()))
+        rows = [
+            ["gradient tensors", str(num_tensors)],
+            ["fused collectives", str(dense_report.fusion.num_collectives)],
+            ["collective reduction",
+             f"{num_tensors / dense_report.fusion.num_collectives:.1f}x"],
+            ["bucket algorithms", algos],
+            ["overlap fraction", f"{dense_report.overlap_fraction:.2f}"],
+            ["wire MB/step (dense)", f"{dense_report.wire_bytes / 1e6:.2f}"],
+            ["wire MB/step (compressed)",
+             f"{comp_report.wire_bytes / 1e6:.2f}"],
+            ["measured compression",
+             f"{comp_report.compression_ratio:.1f}x"],
+            ["eval loss (dense)", f"{dense_loss:.4f}"],
+            [f"eval loss ({args.compression})", f"{comp_loss:.4f}"],
+            ["relative difference",
+             f"{rel * 100:.2f}% (tolerance {args.tolerance * 100:.0f}%)"],
+        ]
+        print(format_table(
+            ["metric", "value"], rows,
+            title=f"Comm drill - {args.ranks} ranks, "
+                  f"{args.compression} compression, seed {args.seed}"))
+        print("convergence OK" if converged else "convergence FAILED")
+    return 0 if converged else 1
+
+
 def _cmd_health(args) -> int:
     """Health drill: faulty training under the streaming/health engine.
 
@@ -779,6 +900,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max relative final-loss difference vs fault-free")
     pf.add_argument("--out", default="faults_out")
     pf.set_defaults(fn=_cmd_faults)
+
+    pcd = sub.add_parser(
+        "comm-drill",
+        help="communication drill: compressed training must track dense")
+    pcd.add_argument("--ranks", type=int, default=4)
+    pcd.add_argument("--steps", type=int, default=12)
+    pcd.add_argument("--samples", type=int, default=16)
+    pcd.add_argument("--grid", type=int, default=16)
+    pcd.add_argument("--lr", type=float, default=0.01)
+    pcd.add_argument("--seed", type=int, default=0)
+    pcd.add_argument("--compression", default="int8",
+                     choices=["topk", "int8"],
+                     help="lossy codec for the compressed run")
+    pcd.add_argument("--ratio", type=float, default=0.25,
+                     help="top-k keep fraction (ignored for int8)")
+    pcd.add_argument("--bucket-kb", type=int, default=4096,
+                     help="gradient fusion bucket size in KiB")
+    pcd.add_argument("--tolerance", type=float, default=0.05,
+                     help="max relative final-eval-loss difference vs dense")
+    pcd.add_argument("--json", action="store_true",
+                     help="emit the machine-readable report (CI smoke job)")
+    pcd.set_defaults(fn=_cmd_comm_drill)
 
     ph = sub.add_parser(
         "health",

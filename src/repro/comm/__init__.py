@@ -1,4 +1,11 @@
 """Communication substrate: functional MPI, collectives, Horovod control."""
+from .api import (
+    CommStrategy,
+    allreduce,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
 from .coordinator import (
     NegotiationResult,
     ReadinessSchedule,
@@ -15,7 +22,16 @@ from .costmodel import (
     ring_allreduce_time,
     tree_allreduce_time,
 )
-from .compression import SparseGradient, TopKCompressor, sparse_allreduce
+from .compression import (
+    Int8Compressor,
+    QuantizedGradient,
+    SparseGradient,
+    TopKCompressor,
+    make_compressor,
+    quantized_allreduce,
+    sparse_allreduce,
+)
+from .engine import EngineConfig, EngineReport, GradientExchangeEngine
 from .halo import gather_stripes, halo_exchange, split_stripes, stripe_bounds
 from .horovod import (
     ExchangeReport,
@@ -39,14 +55,26 @@ from .timeline import (
 from .simmpi import TrafficStats, World
 
 __all__ = [
+    "CommStrategy",
+    "allreduce",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
     "World",
     "stripe_bounds",
     "split_stripes",
     "halo_exchange",
     "gather_stripes",
     "TopKCompressor",
+    "Int8Compressor",
     "SparseGradient",
+    "QuantizedGradient",
+    "make_compressor",
     "sparse_allreduce",
+    "quantized_allreduce",
+    "EngineConfig",
+    "EngineReport",
+    "GradientExchangeEngine",
     "TimelineEvent",
     "build_timeline",
     "chrome_trace_records",

@@ -1,16 +1,20 @@
-"""Gradient compression: top-k sparsification with error feedback.
+"""Gradient compression: top-k sparsification and int8 quantization.
 
 Section VIII-B: "compression techniques can be used at the expense of
 already heavily utilized main processors" to relieve the data plane.  This
-module implements the standard recipe the paper alludes to:
+module implements the standard recipes the paper alludes to:
 
 * **top-k sparsification** — per tensor, keep only the k largest-magnitude
   entries (indices + values), shrinking the all-reduce volume by ~C/k;
-* **error feedback** — the dropped residual is accumulated locally and
-  added to the next step's gradient, which is what keeps sparsified SGD
-  convergent (Stich et al.);
-* a gather-style exchange of the sparse payloads over the functional wire,
-  with byte accounting so the bandwidth saving is measurable.
+* **int8 quantization** — per tensor, linear symmetric quantization to one
+  byte per element plus a float scale (4x volume saving on fp32);
+* **error feedback** — whatever a compressor drops (the residual) is
+  accumulated locally and added to the next step's gradient, which is what
+  keeps lossy-compressed SGD convergent (Stich et al.).  Residual state is
+  exportable (:meth:`~_ErrorFeedbackCompressor.state`) so it can ride
+  checkpoints and survive elastic shrink;
+* gather-style exchanges of the compressed payloads over the functional
+  wire, with byte accounting so the bandwidth saving is measurable.
 """
 from __future__ import annotations
 
@@ -20,7 +24,15 @@ import numpy as np
 
 from .simmpi import World
 
-__all__ = ["TopKCompressor", "SparseGradient", "sparse_allreduce"]
+__all__ = [
+    "TopKCompressor",
+    "Int8Compressor",
+    "SparseGradient",
+    "QuantizedGradient",
+    "make_compressor",
+    "sparse_allreduce",
+    "quantized_allreduce",
+]
 
 
 @dataclass
@@ -41,14 +53,46 @@ class SparseGradient:
         return out.reshape(self.shape)
 
 
-class TopKCompressor:
+class _ErrorFeedbackCompressor:
+    """Shared residual bookkeeping for lossy gradient compressors.
+
+    Residuals are keyed by tensor name and are plain float32 arrays, so the
+    whole compressor state serializes as an array dict — exactly what the
+    checkpoint layer stores (see ``DistributedTrainer.comm_state``).
+    """
+
+    kind = "base"
+
+    def __init__(self):
+        self._residual: dict[str, np.ndarray] = {}
+
+    def residual_norm(self, name: str) -> float:
+        r = self._residual.get(name)
+        return float(np.linalg.norm(r)) if r is not None else 0.0
+
+    def reset(self) -> None:
+        self._residual.clear()
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Copy of the error-feedback residuals, keyed by tensor name."""
+        return {k: v.copy() for k, v in self._residual.items()}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Replace the residuals (e.g. after a checkpoint restore)."""
+        self._residual = {k: np.asarray(v, dtype=np.float32).copy()
+                          for k, v in state.items()}
+
+
+class TopKCompressor(_ErrorFeedbackCompressor):
     """Per-tensor top-k compression with local error feedback."""
+
+    kind = "topk"
 
     def __init__(self, ratio: float = 0.01):
         if not 0.0 < ratio <= 1.0:
             raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+        super().__init__()
         self.ratio = float(ratio)
-        self._residual: dict[str, np.ndarray] = {}
 
     def compress(self, name: str, grad: np.ndarray) -> SparseGradient:
         """Compress ``grad`` (plus carried residual); store the new residual."""
@@ -68,12 +112,48 @@ class TopKCompressor:
         self._residual[name] = residual
         return SparseGradient(idx.astype(np.int64), values, g.shape)
 
-    def residual_norm(self, name: str) -> float:
-        r = self._residual.get(name)
-        return float(np.linalg.norm(r)) if r is not None else 0.0
 
-    def reset(self) -> None:
-        self._residual.clear()
+@dataclass
+class QuantizedGradient:
+    """A linearly quantized tensor: int8 codes + one float scale."""
+
+    q: np.ndarray         # int8 codes
+    scale: float          # dequantized value = q * scale
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return self.q.nbytes + 4  # codes + the float32 scale
+
+    def densify(self) -> np.ndarray:
+        return (self.q.astype(np.float32) * np.float32(self.scale)).reshape(self.shape)
+
+
+class Int8Compressor(_ErrorFeedbackCompressor):
+    """Symmetric linear int8 quantization with local error feedback."""
+
+    kind = "int8"
+
+    def compress(self, name: str, grad: np.ndarray) -> QuantizedGradient:
+        """Quantize ``grad`` (plus carried residual); store the new residual."""
+        g = np.asarray(grad, dtype=np.float32)
+        flat = g.ravel().copy()
+        if name in self._residual:
+            flat += self._residual[name]
+        peak = float(np.abs(flat).max()) if flat.size else 0.0
+        scale = peak / 127.0 if peak > 0.0 else 1.0
+        q = np.clip(np.rint(flat / np.float32(scale)), -127, 127).astype(np.int8)
+        self._residual[name] = flat - q.astype(np.float32) * np.float32(scale)
+        return QuantizedGradient(q, scale, g.shape)
+
+
+def make_compressor(kind: str, ratio: float = 0.01) -> _ErrorFeedbackCompressor:
+    """Build a compressor by kind (``"topk"`` or ``"int8"``)."""
+    if kind == "topk":
+        return TopKCompressor(ratio)
+    if kind == "int8":
+        return Int8Compressor()
+    raise ValueError(f"unknown compressor kind {kind!r}; expected 'topk' or 'int8'")
 
 
 def sparse_allreduce(
@@ -118,6 +198,50 @@ def sparse_allreduce(
                 idx = world.recv(dst, src, tag)
                 val = world.recv(dst, src, tag + 1)
             np.add.at(total, idx, val)
+        if average:
+            total /= n
+        results.append(total.reshape(shape))
+    return results
+
+
+def quantized_allreduce(
+    world: World,
+    quant_grads: list[QuantizedGradient],
+    average: bool = True,
+    tag: int = 720,
+) -> list[np.ndarray]:
+    """All-reduce quantized gradients: gather codes + scales, sum dequantized.
+
+    Per-rank scales differ, so codes cannot be summed directly; the exchange
+    is an all-gather of (codes, scale) pairs — still a ~4x volume saving on
+    fp32 payloads.  Returns the dense averaged gradient on every rank.
+    """
+    n = world.size
+    if len(quant_grads) != n:
+        raise ValueError(f"need {n} quantized gradients, got {len(quant_grads)}")
+    shape = quant_grads[0].shape
+    for i, qg in enumerate(quant_grads):
+        if qg.shape != shape:
+            raise ValueError(f"rank {i} shape {qg.shape} != {shape}")
+    for src in range(n):
+        payload_q = quant_grads[src].q
+        payload_s = np.array([quant_grads[src].scale], dtype=np.float32)
+        for dst in range(n):
+            if dst != src:
+                world.send(payload_q, src, dst, tag)
+                world.send(payload_s, src, dst, tag + 1)
+    results = []
+    for dst in range(n):
+        # Accumulate in canonical src order so every rank performs the
+        # *same* float additions — replicas must stay bit-identical.
+        total = np.zeros(int(np.prod(shape)), dtype=np.float32)
+        for src in range(n):
+            if src == dst:
+                q, scale = quant_grads[dst].q, np.float32(quant_grads[dst].scale)
+            else:
+                q = world.recv(dst, src, tag)
+                scale = np.float32(world.recv(dst, src, tag + 1)[0])
+            total += q.astype(np.float32) * scale
         if average:
             total /= n
         results.append(total.reshape(shape))

@@ -21,23 +21,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..telemetry import get_active
+from .api import allreduce, get_strategy
 from .coordinator import (
     NegotiationResult,
     ReadinessSchedule,
     centralized_negotiation,
     hierarchical_negotiation,
 )
-from .reducer import hierarchical_allreduce, naive_allreduce, ring_allreduce, tree_allreduce
 from .simmpi import World
 
 __all__ = ["FusionPlan", "HorovodConfig", "ExchangeReport", "allreduce_gradients", "fuse_order"]
-
-_ALGORITHMS = {
-    "naive": naive_allreduce,
-    "ring": ring_allreduce,
-    "tree": tree_allreduce,
-    "hierarchical": hierarchical_allreduce,
-}
 
 
 @dataclass(frozen=True)
@@ -52,8 +45,10 @@ class HorovodConfig:
     mpi_ranks_per_node: int = 4
 
     def __post_init__(self):
-        if self.algorithm not in _ALGORITHMS:
-            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        try:
+            get_strategy(self.algorithm)
+        except ValueError:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}") from None
         if self.control_plane not in ("centralized", "hierarchical"):
             raise ValueError(f"unknown control plane {self.control_plane!r}")
 
@@ -153,8 +148,11 @@ def allreduce_gradients(
         for nbytes in plan.group_bytes:
             m.histogram("comm.fusion_buffer_bytes").observe(nbytes)
 
-    # Data plane: one collective per fusion buffer.
-    reduce_fn = _ALGORITHMS[cfg.algorithm]
+    # Data plane: one collective per fusion buffer, through the facade.
+    extra = {}
+    if cfg.algorithm == "hierarchical":
+        extra = dict(gpus_per_node=cfg.gpus_per_node,
+                     mpi_ranks_per_node=cfg.mpi_ranks_per_node)
     world.stats.reset()
     averaged: list[dict[str, np.ndarray]] = [dict() for _ in range(n)]
     for buffer_index, group in enumerate(plan.groups):
@@ -166,13 +164,8 @@ def allreduce_gradients(
         with tracer.span("fused_allreduce", category="comm",
                          buffer=buffer_index, tensors=len(group),
                          bytes=plan.group_bytes[buffer_index]):
-            if cfg.algorithm == "hierarchical":
-                results = reduce_fn(
-                    world, flat_parts, gpus_per_node=cfg.gpus_per_node,
-                    mpi_ranks_per_node=cfg.mpi_ranks_per_node, average=True,
-                )
-            else:
-                results = reduce_fn(world, flat_parts, average=True)
+            results = allreduce(world, flat_parts, strategy=cfg.algorithm,
+                                average=True, **extra)
         # Unpack the fused buffer back into named tensors.
         for r in range(n):
             offset = 0

@@ -15,8 +15,17 @@ Implements the three reduction strategies the paper discusses
 Every algorithm is numerically exact (sum of the per-rank buffers, same
 result on every rank) and exchanges real messages through :class:`World`,
 so tests can verify both the math and the traffic pattern.
+
+.. deprecated::
+    The four free functions below are retained as thin wrappers for old
+    callers; new code goes through the unified facade
+    :func:`repro.comm.allreduce` and the :class:`repro.comm.CommStrategy`
+    registry (see :mod:`repro.comm.api`).  Lint rule RPR009 flags direct
+    calls to the wrappers.
 """
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -56,27 +65,44 @@ def _check_buffers(world: World, buffers: list[np.ndarray]) -> list[np.ndarray]:
     return out
 
 
+def _deprecated_wrapper(name: str, strategy: str):
+    warnings.warn(
+        f"{name} is deprecated; use repro.comm.allreduce(world, buffers, "
+        f"strategy={strategy!r}, ...)", DeprecationWarning, stacklevel=3)
+
+
 def naive_allreduce(world: World, buffers: list[np.ndarray], average: bool = False,
                     tag: int = 10) -> list[np.ndarray]:
-    """Gather-to-root + broadcast; the O(n*V) baseline."""
-    buffers = _check_buffers(world, buffers)
-    with _reduce_span("naive", world, buffers):
-        gathered = world.gather(buffers, root=0, tag=tag)
-        total = gathered[0].copy()
-        for b in gathered[1:]:
-            total += b
-        if average:
-            total /= world.size
-        results = world.broadcast(total, root=0, tag=tag + 1)
-        return [np.array(r, copy=True) for r in results]
+    """Deprecated: use :func:`repro.comm.allreduce` with ``strategy="naive"``.
+
+    Gather-to-root + broadcast; the O(n*V) baseline.
+    """
+    _deprecated_wrapper("naive_allreduce", "naive")
+    from .api import allreduce
+    return allreduce(world, buffers, strategy="naive", average=average, tag=tag)
+
+
+def _naive_allreduce(world: World, buffers: list[np.ndarray], average: bool,
+                     tag: int) -> list[np.ndarray]:
+    gathered = world.gather(buffers, root=0, tag=tag)
+    total = gathered[0].copy()
+    for b in gathered[1:]:
+        total += b
+    if average:
+        total /= world.size
+    results = world.broadcast(total, root=0, tag=tag + 1)
+    return [np.array(r, copy=True) for r in results]
 
 
 def ring_allreduce(world: World, buffers: list[np.ndarray], average: bool = False,
                    tag: int = 20) -> list[np.ndarray]:
-    """Reduce-scatter + all-gather ring (the NCCL algorithm)."""
-    buffers = _check_buffers(world, buffers)
-    with _reduce_span("ring", world, buffers):
-        return _ring_allreduce(world, buffers, average, tag)
+    """Deprecated: use :func:`repro.comm.allreduce` with ``strategy="ring"``.
+
+    Reduce-scatter + all-gather ring (the NCCL algorithm).
+    """
+    _deprecated_wrapper("ring_allreduce", "ring")
+    from .api import allreduce
+    return allreduce(world, buffers, strategy="ring", average=average, tag=tag)
 
 
 def _ring_allreduce(world: World, buffers: list[np.ndarray], average: bool,
@@ -122,10 +148,13 @@ def _ring_allreduce(world: World, buffers: list[np.ndarray], average: bool,
 
 def tree_allreduce(world: World, buffers: list[np.ndarray], average: bool = False,
                    tag: int = 30) -> list[np.ndarray]:
-    """Binomial-tree reduce to rank 0, then binomial broadcast."""
-    buffers = _check_buffers(world, buffers)
-    with _reduce_span("tree", world, buffers):
-        return _tree_allreduce(world, buffers, average, tag)
+    """Deprecated: use :func:`repro.comm.allreduce` with ``strategy="tree"``.
+
+    Binomial-tree reduce to rank 0, then binomial broadcast.
+    """
+    _deprecated_wrapper("tree_allreduce", "tree")
+    from .api import allreduce
+    return allreduce(world, buffers, strategy="tree", average=average, tag=tag)
 
 
 def _tree_allreduce(world: World, buffers: list[np.ndarray], average: bool,
@@ -167,7 +196,10 @@ def hierarchical_allreduce(
     average: bool = False,
     tag: int = 40,
 ) -> list[np.ndarray]:
-    """The paper's hybrid NCCL + MPI all-reduce (Section V-A3).
+    """Deprecated: use :func:`repro.comm.allreduce` with
+    ``strategy="hierarchical"``.
+
+    The paper's hybrid NCCL + MPI all-reduce (Section V-A3):
 
     1. NCCL ring reduce-scatter + gather *within* each node so all local
        ranks hold the node-local sum (modelled as an in-node ring over the
@@ -180,10 +212,11 @@ def hierarchical_allreduce(
 
     World size must be a multiple of ``gpus_per_node``.
     """
-    buffers = _check_buffers(world, buffers)
-    with _reduce_span("hierarchical", world, buffers):
-        return _hierarchical_allreduce(world, buffers, gpus_per_node,
-                                       mpi_ranks_per_node, average, tag)
+    _deprecated_wrapper("hierarchical_allreduce", "hierarchical")
+    from .api import allreduce
+    return allreduce(world, buffers, strategy="hierarchical", average=average,
+                     tag=tag, gpus_per_node=gpus_per_node,
+                     mpi_ranks_per_node=mpi_ranks_per_node)
 
 
 def _hierarchical_allreduce(

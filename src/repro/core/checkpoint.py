@@ -56,8 +56,15 @@ def _optimizer_state(optimizer) -> tuple[dict[str, np.ndarray], dict]:
 
 
 def _write_checkpoint(trainer: Trainer, path: Path,
-                      extra_meta: dict | None = None) -> Path:
-    """Serialize a trainer to ``path`` (``.npz`` appended if missing)."""
+                      extra_meta: dict | None = None,
+                      extra_arrays: dict[str, np.ndarray] | None = None) -> Path:
+    """Serialize a trainer to ``path`` (``.npz`` appended if missing).
+
+    ``extra_arrays`` lets subsystems persist array state alongside the
+    trainer (e.g. the comm engine's error-feedback residuals); they are
+    namespaced under ``extra.`` and retrieved with
+    :meth:`CheckpointManager.load_extra_arrays`.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -66,6 +73,8 @@ def _write_checkpoint(trainer: Trainer, path: Path,
         arrays[f"model.{name}"] = value
     opt_arrays, opt_meta = _optimizer_state(trainer.optimizer)
     arrays.update(opt_arrays)
+    for name, value in (extra_arrays or {}).items():
+        arrays[f"extra.{name}"] = np.asarray(value)
     meta = {
         "version": _FORMAT_VERSION,
         "optimizer": opt_meta,
@@ -184,13 +193,15 @@ class CheckpointManager:
     # -- verbs -------------------------------------------------------------
 
     def save(self, trainer: Trainer, step: int | None = None,
-             extra_meta: dict | None = None) -> Path:
+             extra_meta: dict | None = None,
+             extra_arrays: dict[str, np.ndarray] | None = None) -> Path:
         """Write one checkpoint (step defaults to the trainer's history
         length) and apply the rotation policy."""
         step = len(trainer.history) if step is None else int(step)
         extra = dict(extra_meta or {})
         extra["step"] = step
-        path = _write_checkpoint(trainer, self.path_for(step), extra_meta=extra)
+        path = _write_checkpoint(trainer, self.path_for(step), extra_meta=extra,
+                                 extra_arrays=extra_arrays)
         if self.keep_last is not None:
             self.rotate(self.keep_last)
         return path
@@ -206,6 +217,22 @@ class CheckpointManager:
                     f"no checkpoints under {self.directory}")
         return _read_checkpoint(trainer, Path(path),
                                 strict_config=strict_config)
+
+    def load_extra_arrays(self, path: str | Path | None = None
+                          ) -> dict[str, np.ndarray]:
+        """Read the subsystem arrays stored via ``save(extra_arrays=...)``.
+
+        Returns ``{}`` for checkpoints written before this field existed, so
+        callers can restore opportunistically.
+        """
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise CheckpointError(
+                    f"no checkpoints under {self.directory}")
+        with np.load(Path(path)) as data:
+            return {k[len("extra."):]: data[k].copy() for k in data.files
+                    if k.startswith("extra.")}
 
     def rotate(self, keep_last: int | None = None) -> list[Path]:
         """Delete all but the newest ``keep_last`` files; returns removals."""

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..comm.compression import TopKCompressor, sparse_allreduce
+from ..comm.engine import EngineConfig, GradientExchangeEngine
 from ..comm.horovod import ExchangeReport, HorovodConfig, allreduce_gradients
 from ..comm.simmpi import World
 from ..framework.module import Module
@@ -58,6 +59,7 @@ class DistributedTrainer:
         horovod: HorovodConfig | None = None,
         compression_ratio: float | None = None,
         fault_injector=None,
+        engine: GradientExchangeEngine | EngineConfig | None = None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
@@ -67,6 +69,11 @@ class DistributedTrainer:
             algorithm="ring", control_plane="hierarchical",
             fusion_threshold_bytes=4 * 1024 * 1024,
         )
+        # Adaptive gradient exchange: an engine (or its config) supersedes
+        # both the fixed Horovod data plane and the legacy compressed path.
+        if isinstance(engine, EngineConfig):
+            engine = GradientExchangeEngine(world_size, engine)
+        self.engine = engine
         self.trainers = [
             Trainer(model_factory(), config, class_frequencies)
             for _ in range(world_size)
@@ -159,7 +166,10 @@ class DistributedTrainer:
                               if p.grad is not None})
         with tracer.span("gradient_exchange", category="comm",
                          step=self._step, tensors=len(all_grads[0])) as ex_span:
-            if self._compressors is not None:
+            if self.engine is not None:
+                self.world.stats.reset()
+                averaged, report = self.engine.exchange(self.world, all_grads)
+            elif self._compressors is not None:
                 averaged, report = self._compressed_exchange(all_grads)
             else:
                 averaged, report = allreduce_gradients(
@@ -215,6 +225,40 @@ class DistributedTrainer:
         )
         return averaged, report
 
+    # -- communication state (error-feedback residuals) ------------------------
+
+    def comm_state(self) -> dict[str, np.ndarray]:
+        """Per-rank error-feedback residuals, keyed ``rank{r}.{tensor}``.
+
+        Lossy compression is only convergent because dropped gradient mass
+        is carried forward; losing the residuals at a restore point silently
+        re-drops it.  This state rides checkpoints next to the model (see
+        :meth:`CheckpointManager.save`'s ``extra_arrays``).
+        """
+        if self.engine is not None:
+            return self.engine.comm_state()
+        if self._compressors is not None:
+            return {f"rank{r}.{k}": v
+                    for r, comp in enumerate(self._compressors)
+                    for k, v in comp.state().items()}
+        return {}
+
+    def load_comm_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore residuals saved by :meth:`comm_state`."""
+        if self.engine is not None:
+            self.engine.load_comm_state(state)
+            return
+        if self._compressors is None:
+            return
+        per_rank: list[dict[str, np.ndarray]] = [dict() for _ in self._compressors]
+        for key, value in state.items():
+            rank_part, _, tensor = key.partition(".")
+            r = int(rank_part.removeprefix("rank"))
+            if r < len(per_rank):
+                per_rank[r][tensor] = value
+        for comp, residuals in zip(self._compressors, per_rank):
+            comp.load_state(residuals)
+
     # -- elastic degradation ---------------------------------------------------
 
     def shrink(self, failed_ranks, lr_scaling: str = "linear") -> dict:
@@ -245,6 +289,9 @@ class DistributedTrainer:
         self.trainers = [self.trainers[r] for r in survivors]
         if self._compressors is not None:
             self._compressors = [self._compressors[r] for r in survivors]
+        if self.engine is not None:
+            # Drops only the failed ranks' residuals; survivors keep theirs.
+            self.engine.shrink(survivors)
         self.world = World(len(survivors), fault_injector=injector)
         # A failure mid-exchange leaves fresh local gradients that were
         # never averaged; discard them so the retried step starts clean.

@@ -106,6 +106,7 @@ class _PlanBase:
         self._xp: np.ndarray | None = None
         self._cols: np.ndarray | None = None
         self._dcols: np.ndarray | None = None
+        self._tap: np.ndarray | None = None
 
     # -- copying ----------------------------------------------------------
 
@@ -114,8 +115,8 @@ class _PlanBase:
         clone = self.__class__.__new__(self.__class__)
         clone.__dict__.update(
             {k: v for k, v in self.__dict__.items()
-             if k not in ("_xp", "_cols", "_dcols")})
-        clone._xp = clone._cols = clone._dcols = None
+             if k not in ("_xp", "_cols", "_dcols", "_tap")})
+        clone._xp = clone._cols = clone._dcols = clone._tap = None
         clone.version = 0
         return clone
 
@@ -282,10 +283,13 @@ class ConvPlan(_PlanBase):
 class DepthwiseConvPlan(_PlanBase):
     """Execution plan for per-channel (depthwise) convolution.
 
-    The contraction is one batched per-channel GEMM over the tap axis:
-    ``(N, C, 1, KK) @ (N, C, KK, P) -> (N, C, 1, P)`` — a single matmul
-    call instead of the K*K broadcast-multiply round-trips of the legacy
-    kernel.
+    The forward pass is a fused per-tap FMA over the strided receptive-field
+    view of the padded workspace: the op is memory-bound (one multiply per
+    element), so skipping the im2col materialization beats any GEMM
+    formulation — the K*K column copy costs more than the arithmetic it
+    feeds.  The weight/input gradients keep the batched per-channel GEMM
+    over the tap axis (``(N, C, 1, P) @ (N, C, P, KK)``), where the column
+    workspace pays for itself.
     """
 
     def __init__(self, x_shape, w_shape, stride=1, padding=0, dilation=1,
@@ -315,8 +319,28 @@ class DepthwiseConvPlan(_PlanBase):
         return out.reshape(n, c, self.oh, self.ow).astype(self.dtype, copy=False)
 
     def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
-        token = self.im2col(x)
-        return self.forward_from_cols(self.columns_for(token, x), w)
+        """Fused per-tap FMA over the receptive-field view (no im2col).
+
+        The output is a fresh buffer (autograd holds it across the step);
+        only the per-tap product scratch is workspace-reused.
+        """
+        n, c, _, _ = self.x_shape
+        view = self._receptive_view(self.padded_input(x))
+        wa = w.astype(self.acc, copy=False)
+        out = np.empty((n, c, self.oh, self.ow), dtype=self.acc)
+        np.multiply(view[:, :, 0, 0], wa[:, 0, 0].reshape(1, c, 1, 1), out=out)
+        if self.kh * self.kw > 1:
+            if self._tap is None:
+                self._tap = np.empty_like(out)
+            tmp = self._tap
+            for u in range(self.kh):
+                for v in range(self.kw):
+                    if u == 0 and v == 0:
+                        continue
+                    np.multiply(view[:, :, u, v],
+                                wa[:, u, v].reshape(1, c, 1, 1), out=tmp)
+                    np.add(out, tmp, out=out)
+        return out.astype(self.dtype, copy=False)
 
     def backward_weight_from_cols(self, grad_out: np.ndarray,
                                   cols: np.ndarray) -> np.ndarray:

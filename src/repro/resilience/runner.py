@@ -100,6 +100,8 @@ def run_resilient_training(
     max_step_retries: int = 3,
     resume: bool = True,
     on_step=None,
+    engine=None,
+    compression_ratio: float | None = None,
 ) -> ResilienceReport:
     """Train ``steps`` global steps under ``plan``; returns the report.
 
@@ -109,6 +111,13 @@ def run_resilient_training(
     re-sharded data assignment.  Faults listed in ``plan`` are injected at
     their scheduled steps; a run with ``plan=None`` is the fault-free
     baseline the CLI compares against.
+
+    ``engine`` (a :class:`repro.comm.GradientExchangeEngine` or its config)
+    routes gradient exchange through the adaptive engine;
+    ``compression_ratio`` enables the legacy per-tensor top-k path.  Either
+    way the compressors' error-feedback residuals ride checkpoints as extra
+    arrays and are restored on resume — losing them would silently re-drop
+    gradient mass the compressor had promised to carry forward.
 
     ``on_step(step, result, trainer, original_ids)`` is called after each
     completed step (before telemetry sampling) — the hook the health drill
@@ -124,7 +133,9 @@ def run_resilient_training(
     tracer = tel.tracer
     injector = FaultInjector(plan) if plan is not None and len(plan) else None
     trainer = DistributedTrainer(model_factory, world_size, config,
-                                 class_frequencies, fault_injector=injector)
+                                 class_frequencies, fault_injector=injector,
+                                 engine=engine,
+                                 compression_ratio=compression_ratio)
     report = ResilienceReport(start_world_size=world_size, trainer=trainer)
     manager = None
     if checkpoint_dir is not None:
@@ -140,6 +151,10 @@ def run_resilient_training(
                 # or replicas diverge one step after resume.
                 for t in trainer.trainers:
                     meta = manager.load(t, latest)
+                # Error-feedback residuals are comm-layer state, not model
+                # state; restore them alongside or compression re-drops
+                # whatever mass was pending at the checkpoint.
+                trainer.load_comm_state(manager.load_extra_arrays(latest))
             start_step = int(meta.get("extra", {}).get("step", 0))
             report.resumed_from = str(latest)
             report.resumed_at_step = start_step
@@ -221,7 +236,8 @@ def run_resilient_training(
                 and (step + 1) % checkpoint_every == 0):
             with tracer.span("checkpoint_save", category="resilience",
                              step=step):
-                manager.save(trainer.trainers[0], step=step + 1)
+                manager.save(trainer.trainers[0], step=step + 1,
+                             extra_arrays=trainer.comm_state())
             report.checkpoints_saved += 1
 
     report.final_world_size = trainer.world_size

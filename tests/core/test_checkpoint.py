@@ -201,6 +201,35 @@ class TestCheckpointManager:
         mgr.save(make_trainer(), step=1)
         assert len(mgr.checkpoints()) == 1
 
+    def test_extra_arrays_roundtrip_bit_exact(self, dataset, tmp_path):
+        # Comm-layer state (error-feedback residuals) rides checkpoints as
+        # extra arrays, orthogonal to model/optimizer state.
+        rng = np.random.default_rng(11)
+        extra = {"rank0.stem.w": rng.normal(size=57).astype(np.float32),
+                 "rank1.stem.w": rng.normal(size=57).astype(np.float32)}
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(make_trainer(), step=2, extra_arrays=extra)
+        loaded = mgr.load_extra_arrays()
+        assert sorted(loaded) == sorted(extra)
+        for key, value in extra.items():
+            np.testing.assert_array_equal(loaded[key], value)
+
+    def test_extra_arrays_do_not_leak_into_model(self, dataset, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        a = make_trainer()
+        mgr.save(a, step=1,
+                 extra_arrays={"rank0.x": np.ones(3, dtype=np.float32)})
+        b = make_trainer(seed=5)
+        mgr.load(b)
+        for (_, p1), (_, p2) in zip(a.model.named_parameters(),
+                                    b.model.named_parameters()):
+            np.testing.assert_array_equal(p1.master_value(), p2.master_value())
+
+    def test_extra_arrays_absent_in_old_checkpoints(self, dataset, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(make_trainer(), step=1)
+        assert mgr.load_extra_arrays() == {}
+
 
 class TestDeprecatedWrappers:
     """The legacy free functions: still correct, warn, and stay the only

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.comm import World, ring_allreduce
+from repro.comm import World, allreduce
 from repro.framework.losses import softmax_probs, weighted_cross_entropy
 from repro.framework.ops import (
     batchnorm_forward,
@@ -133,9 +133,9 @@ class TestReductionProperties:
         # The reduced value is independent of which rank holds which buffer.
         rng = np.random.default_rng(seed)
         bufs = [rng.normal(size=13).astype(np.float64) for _ in range(n)]
-        out1 = ring_allreduce(World(n), bufs)[0]
+        out1 = allreduce(World(n), bufs, strategy="ring")[0]
         perm = rng.permutation(n)
-        out2 = ring_allreduce(World(n), [bufs[i] for i in perm])[0]
+        out2 = allreduce(World(n), [bufs[i] for i in perm], strategy="ring")[0]
         np.testing.assert_allclose(out1, out2, rtol=1e-12)
 
     @given(st.integers(2, 6), st.floats(0.1, 10.0))
@@ -143,8 +143,8 @@ class TestReductionProperties:
     def test_allreduce_homogeneity(self, n, scale):
         rng = np.random.default_rng(int(scale * 100))
         bufs = [rng.normal(size=9).astype(np.float64) for _ in range(n)]
-        base = ring_allreduce(World(n), bufs)[0]
-        scaled = ring_allreduce(World(n), [scale * b for b in bufs])[0]
+        base = allreduce(World(n), bufs, strategy="ring")[0]
+        scaled = allreduce(World(n), [scale * b for b in bufs], strategy="ring")[0]
         np.testing.assert_allclose(scaled, scale * base, rtol=1e-10)
 
 

@@ -153,6 +153,34 @@ class TestResilientRun:
         np.testing.assert_allclose(second.losses, straight.losses[4:],
                                    rtol=1e-6)
 
+    def test_residuals_survive_autoresume(self, dataset, freqs, tmp_path):
+        # Error-feedback residuals are comm-layer state: a resumed
+        # compressed run must carry them forward bit-exactly, or the
+        # compressor silently re-drops the gradient mass it had promised.
+        from repro.comm import EngineConfig
+        prov = provider_for(dataset)
+        cfg = EngineConfig(compression="topk", compression_ratio=0.05)
+        first = run_resilient_training(
+            factory(), CONFIG, 2, prov, steps=2, class_frequencies=freqs,
+            checkpoint_dir=tmp_path, checkpoint_every=2, engine=cfg)
+        saved = first.trainer.comm_state()
+        assert saved  # residuals exist after two compressed steps
+
+        second = run_resilient_training(
+            factory(), CONFIG, 2, prov, steps=4, class_frequencies=freqs,
+            checkpoint_dir=tmp_path, checkpoint_every=2, engine=cfg)
+        assert second.resumed_at_step == 2
+
+        straight = run_resilient_training(
+            factory(), CONFIG, 2, prov, steps=4, class_frequencies=freqs,
+            engine=EngineConfig(compression="topk", compression_ratio=0.05))
+        np.testing.assert_allclose(second.losses, straight.losses[2:],
+                                   rtol=1e-6)
+        final_resumed = second.trainer.comm_state()
+        final_straight = straight.trainer.comm_state()
+        for key, value in final_straight.items():
+            np.testing.assert_array_equal(final_resumed[key], value)
+
     def test_resume_disabled_starts_fresh(self, dataset, freqs, tmp_path):
         prov = provider_for(dataset)
         run_resilient_training(factory(), CONFIG, 2, prov, steps=2,
