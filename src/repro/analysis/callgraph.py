@@ -1,0 +1,265 @@
+"""Project symbol table, import resolution, and call-edge extraction.
+
+The deep analyzer works on *qualified names* (qnames) of the form
+``"repro.comm.api:allreduce"`` or ``"repro.comm.engine:GradientExchangeEngine.exchange"``
+— ``module:dotted.path`` — so that a function is identified the same way
+regardless of which file mentions it.  This module turns per-file ASTs into:
+
+* a :class:`ModuleInfo` per file — its import-alias map, its top-level
+  definitions (functions, classes, methods), and the raw *call refs* each
+  function makes (dotted strings like ``helper``, ``reducer.ring_allreduce``,
+  ``self._sync``);
+* a :class:`SymbolTable` over all modules, able to resolve a call ref seen
+  inside a given function to a qname, following import aliases (including
+  relative ``from . import x`` forms) and ``self.``/``cls.`` method calls.
+
+Resolution is deliberately best-effort and *under*-approximate: a ref that
+cannot be pinned to a project symbol resolves to ``None`` and contributes
+no call edge.  Dynamic dispatch through arbitrary objects, star imports,
+and monkey-patching are out of scope — the deep rules prefer silence over
+speculation there.
+"""
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "module_name",
+    "qname",
+    "split_qname",
+    "FunctionInfo",
+    "ModuleInfo",
+    "parse_module",
+    "SymbolTable",
+]
+
+
+def module_name(rel_path: str) -> str:
+    """Dotted module name for a repo-relative path (``src/`` stripped)."""
+    path = rel_path.replace("\\", "/")
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    if path.endswith(".py"):
+        path = path[:-len(".py")]
+    if path.endswith("/__init__"):
+        path = path[:-len("/__init__")]
+    return path.replace("/", ".")
+
+
+def qname(module: str, dotted: str) -> str:
+    return f"{module}:{dotted}"
+
+
+def split_qname(name: str) -> tuple[str, str]:
+    module, _, dotted = name.partition(":")
+    return module, dotted
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition inside a module."""
+
+    qname: str
+    module: str
+    dotted: str                       # path within the module (Cls.meth)
+    node: object                      # ast.FunctionDef | AsyncFunctionDef
+    cls: str | None = None            # enclosing class dotted path, if any
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    rel_path: str
+    #: local alias -> fully-dotted target ("repro.comm.api" for module
+    #: imports, "repro.comm.api.allreduce" for from-imports).
+    imports: dict = field(default_factory=dict)
+    #: dotted path -> "func" | "class"
+    defs: dict = field(default_factory=dict)
+    functions: dict = field(default_factory=dict)   # qname -> FunctionInfo
+
+    @property
+    def package(self) -> str:
+        """Package containing this module (itself if it is a package)."""
+        return self.name.rsplit(".", 1)[0] if "." in self.name else self.name
+
+
+def _resolve_relative(base_module: str, rel_path: str, level: int,
+                      target: str) -> str:
+    """Absolute dotted target for ``from .[..]target import ...``."""
+    is_pkg = rel_path.replace("\\", "/").endswith("__init__.py")
+    parts = base_module.split(".")
+    # level 1 = current package: drop nothing for a package __init__,
+    # drop the module leaf otherwise; each extra level climbs once more.
+    drop = level - (1 if is_pkg else 0)
+    if drop > 0:
+        parts = parts[:-drop] if drop < len(parts) else []
+    if target:
+        parts = parts + target.split(".")
+    return ".".join(parts)
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    def __init__(self, info: ModuleInfo):
+        self.info = info
+        self._class_stack: list[str] = []
+        self._depth = 0
+
+    # -- imports -------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.info.imports[local] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            base = _resolve_relative(self.info.name, self.info.rel_path,
+                                     node.level, base)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.info.imports[local] = f"{base}.{alias.name}" if base else alias.name
+        self.generic_visit(node)
+
+    # -- definitions ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._depth > 0:
+            return                    # classes inside functions: skip
+        dotted = ".".join([*self._class_stack, node.name])
+        self.info.defs[dotted] = "class"
+        self._class_stack.append(node.name)
+        for child in node.body:
+            self.visit(child)
+        self._class_stack.pop()
+
+    def _visit_func(self, node) -> None:
+        if self._depth > 0:
+            return                    # nested defs: not addressable
+        dotted = ".".join([*self._class_stack, node.name])
+        self.info.defs[dotted] = "func"
+        q = qname(self.info.name, dotted)
+        cls = ".".join(self._class_stack) if self._class_stack else None
+        self.info.functions[q] = FunctionInfo(
+            qname=q, module=self.info.name, dotted=dotted, node=node, cls=cls)
+        self._depth += 1
+        for child in node.body:
+            self.visit(child)
+        self._depth -= 1
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+
+def parse_module(rel_path: str, tree: ast.Module) -> ModuleInfo:
+    info = ModuleInfo(name=module_name(rel_path), rel_path=rel_path)
+    _ModuleVisitor(info).visit(tree)
+    return info
+
+
+def call_ref(call: ast.Call) -> str | None:
+    """Dotted string for a call's target, or None if not name-shaped."""
+    parts: list[str] = []
+    node = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class SymbolTable:
+    """All modules of the project plus cross-module call-ref resolution."""
+
+    def __init__(self, modules: dict[str, ModuleInfo] | None = None):
+        self.modules: dict[str, ModuleInfo] = dict(modules or {})
+
+    def add(self, info: ModuleInfo) -> None:
+        self.modules[info.name] = info
+
+    def functions(self) -> dict[str, FunctionInfo]:
+        out: dict[str, FunctionInfo] = {}
+        for mod in self.modules.values():
+            out.update(mod.functions)
+        return out
+
+    # -- resolution ----------------------------------------------------------
+
+    def _lookup(self, module: str, dotted: str) -> str | None:
+        """qname if ``module:dotted`` names a known function, else None."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        q = qname(module, dotted)
+        if q in info.functions:
+            return q
+        # Class instantiation resolves to __init__ when we have it; the
+        # class itself is otherwise an acceptable terminal (no edge).
+        if info.defs.get(dotted) == "class":
+            init = qname(module, f"{dotted}.__init__")
+            if init in info.functions:
+                return init
+        return None
+
+    def _resolve_dotted(self, target: str) -> str | None:
+        """Resolve an absolute dotted path ("pkg.mod.Cls.meth") to a qname.
+
+        Tries every module/attribute split from longest module prefix down,
+        then follows one level of re-export aliasing (``from .api import
+        allreduce`` in a package ``__init__``).
+        """
+        parts = target.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            if module not in self.modules:
+                continue
+            dotted = ".".join(parts[cut:])
+            found = self._lookup(module, dotted)
+            if found is not None:
+                return found
+            # Re-export: the first attribute may itself be an import alias
+            # inside ``module`` (common for package __init__ files).
+            info = self.modules[module]
+            alias = info.imports.get(parts[cut])
+            if alias is not None:
+                rest = parts[cut + 1:]
+                return self._resolve_dotted(".".join([alias, *rest])
+                                            if rest else alias)
+            return None
+        return None
+
+    def resolve(self, ref: str, module: str,
+                cls: str | None = None) -> str | None:
+        """Resolve a call ref seen inside ``module`` (and class ``cls``).
+
+        ``ref`` is the dotted string from :func:`call_ref`; returns a
+        project qname or None.
+        """
+        if not ref:
+            return None
+        parts = ref.split(".")
+        head = parts[0]
+        if head in ("self", "cls") and cls is not None:
+            # Method call on the enclosing class.
+            dotted = ".".join([cls, *parts[1:]])
+            return self._lookup(module, dotted)
+        info = self.modules.get(module)
+        if info is not None:
+            # Local definition in the same module?
+            found = self._lookup(module, ref)
+            if found is not None:
+                return found
+            if ref in info.defs and info.defs[ref] == "class":
+                return self._lookup(module, ref)
+            # Import alias?
+            alias = info.imports.get(head)
+            if alias is not None:
+                return self._resolve_dotted(".".join([alias, *parts[1:]]))
+        return None

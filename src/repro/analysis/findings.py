@@ -57,6 +57,11 @@ class Finding:
     edits: tuple[Edit, ...] = ()
     suppressed: bool = False
     baselined: bool = False
+    end_line: int = 0       # last line of the offending node (0 = unknown)
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            self.end_line = self.line
 
     @property
     def fixable(self) -> bool:
@@ -77,6 +82,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_line": self.end_line,
             "message": self.message,
             "text": self.line_text,
             "fixable": self.fixable,
@@ -90,6 +96,7 @@ class Finding:
         return cls(rule_id=d["rule"], severity=d["severity"], path=d["path"],
                    line=d["line"], col=d["col"], message=d["message"],
                    line_text=d.get("text", ""),
+                   end_line=d.get("end_line", 0),
                    edits=tuple(Edit.from_dict(e) for e in d.get("edits", ())),
                    suppressed=d.get("suppressed", False),
                    baselined=d.get("baselined", False))

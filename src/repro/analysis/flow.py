@@ -1,0 +1,496 @@
+"""Per-function control-flow graphs and a small dataflow framework.
+
+The deep analyzer (:mod:`repro.analysis.project`) needs to reason about
+*values* inside a function — "does the fp16 cast on line 12 reach the
+accumulation on line 40?", "is the object this RNG draw runs on seeded?" —
+which is a dataflow question, not an AST-shape question.  This module
+provides the substrate:
+
+* :func:`build_cfg` — statement-level basic blocks for one function body,
+  with edges for ``if``/``while``/``for``/``try``/``break``/``continue``/
+  ``return``.  Branch statements appear as the *last* entry of their block
+  so transfer functions can evaluate the test expression exactly once.
+* :func:`solve_forward` — the classic worklist fixpoint for a forward
+  may-analysis whose states are ``{var: frozenset[fact]}`` environments
+  joined by per-variable union (a powerset lattice per variable, so the
+  fixpoint terminates as long as the fact universe is finite).
+* :class:`ReachingDefinitions` — textbook reaching-defs instance (facts
+  are ``line`` numbers of assignments), used by tests and available to
+  future rules.
+* :class:`TaintAnalysis` — an abstract interpreter over expressions where
+  facts are taint *labels* (strings).  What constitutes a source and what
+  a call evaluates to is delegated to a :class:`TaintPolicy`, so the same
+  engine serves fp16-flow and RNG-seeding questions; symbolic labels like
+  ``param:0`` / ``call:3`` let :mod:`repro.analysis.summaries` defer
+  inter-procedural resolution to the whole-program fixpoint.
+
+Everything here is intentionally conservative in the *under*-approximate
+direction: an unknown call produces only its own symbolic label, attribute
+stores are not tracked, comparisons yield no taint.  Deep rules therefore
+stay quiet rather than noisy when the code is too dynamic to follow.
+"""
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "build_cfg",
+    "solve_forward",
+    "replay",
+    "ReachingDefinitions",
+    "TaintPolicy",
+    "TaintAnalysis",
+]
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BasicBlock:
+    """A run of statements with a single entry; ``succs`` are block ids.
+
+    For ``if``/``while``/``for``/``with`` the controlling statement is the
+    last element of ``stmts``; its *body* lives in successor blocks.
+    """
+
+    bid: int
+    stmts: list = field(default_factory=list)
+    succs: list = field(default_factory=list)
+
+    def add_succ(self, bid: int) -> None:
+        if bid not in self.succs:
+            self.succs.append(bid)
+
+
+class CFG:
+    """Blocks of one function; ``entry`` and a synthetic empty ``exit``."""
+
+    def __init__(self):
+        self.blocks: dict[int, BasicBlock] = {}
+        self.entry = self._new().bid
+        self.exit = self._new().bid
+
+    def _new(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks[block.bid] = block
+        return block
+
+    def preds(self, bid: int) -> list[int]:
+        return [b.bid for b in self.blocks.values() if bid in b.succs]
+
+    def reachable(self) -> set[int]:
+        seen, stack = set(), [self.entry]
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(self.blocks[b].succs)
+        return seen
+
+
+#: Statements that terminate their block unconditionally.
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+#: Compound statements that open sub-blocks.
+_BRANCHING = (ast.If, ast.While, ast.For, ast.AsyncFor, ast.Try,
+              ast.With, ast.AsyncWith, ast.Match)
+
+
+class _Builder:
+    def __init__(self):
+        self.cfg = CFG()
+        self.loops: list[tuple[int, int]] = []      # (header, after) stack
+
+    def build(self, body: list) -> CFG:
+        end = self._stmts(body, self.cfg.entry)
+        if end is not None:
+            self.cfg.blocks[end].add_succ(self.cfg.exit)
+        return self.cfg
+
+    def _block(self) -> int:
+        return self.cfg._new().bid
+
+    def _stmts(self, body: list, current: int | None) -> int | None:
+        """Wire ``body`` starting at block ``current``; returns the open
+        block falling out the bottom (None if all paths left)."""
+        for stmt in body:
+            if current is None:
+                # Dead code after return/raise/break: still parse structure
+                # (nested defs etc. are summarized separately) but keep it
+                # disconnected so states never flow through it.
+                current = self._block()
+            if isinstance(stmt, ast.If):
+                current = self._if(stmt, current)
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                current = self._loop(stmt, current)
+            elif isinstance(stmt, ast.Try):
+                current = self._try(stmt, current)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self.cfg.blocks[current].stmts.append(stmt)
+                body_block = self._block()
+                self.cfg.blocks[current].add_succ(body_block)
+                current = self._stmts(stmt.body, body_block)
+            elif isinstance(stmt, ast.Match):
+                current = self._match(stmt, current)
+            else:
+                self.cfg.blocks[current].stmts.append(stmt)
+                if isinstance(stmt, _TERMINATORS):
+                    blk = self.cfg.blocks[current]
+                    if isinstance(stmt, ast.Return):
+                        blk.add_succ(self.cfg.exit)
+                    elif isinstance(stmt, ast.Break) and self.loops:
+                        blk.add_succ(self.loops[-1][1])
+                    elif isinstance(stmt, ast.Continue) and self.loops:
+                        blk.add_succ(self.loops[-1][0])
+                    # Raise: no intra-function successor (handlers are
+                    # approximated in _try below).
+                    current = None
+        return current
+
+    def _if(self, stmt: ast.If, current: int) -> int | None:
+        self.cfg.blocks[current].stmts.append(stmt)     # test eval point
+        then_b, else_b = self._block(), self._block()
+        self.cfg.blocks[current].add_succ(then_b)
+        self.cfg.blocks[current].add_succ(else_b)
+        then_end = self._stmts(stmt.body, then_b)
+        else_end = self._stmts(stmt.orelse, else_b)
+        if then_end is None and else_end is None:
+            return None
+        join = self._block()
+        for end in (then_end, else_end):
+            if end is not None:
+                self.cfg.blocks[end].add_succ(join)
+        return join
+
+    def _loop(self, stmt, current: int) -> int:
+        header = self._block()
+        self.cfg.blocks[current].add_succ(header)
+        self.cfg.blocks[header].stmts.append(stmt)      # test / iter point
+        body_b, after = self._block(), self._block()
+        self.cfg.blocks[header].add_succ(body_b)
+        self.cfg.blocks[header].add_succ(after)          # zero-trip / exit
+        self.loops.append((header, after))
+        body_end = self._stmts(stmt.body, body_b)
+        self.loops.pop()
+        if body_end is not None:
+            self.cfg.blocks[body_end].add_succ(header)   # back edge
+        if stmt.orelse:
+            # ``else`` runs on normal exit; approximation: between the
+            # header exit and ``after``.
+            else_b = self._block()
+            self.cfg.blocks[header].add_succ(else_b)
+            else_end = self._stmts(stmt.orelse, else_b)
+            if else_end is not None:
+                self.cfg.blocks[else_end].add_succ(after)
+        return after
+
+    def _try(self, stmt: ast.Try, current: int) -> int | None:
+        body_b = self._block()
+        self.cfg.blocks[current].add_succ(body_b)
+        body_start = body_b
+        body_end = self._stmts(stmt.body, body_b)
+        if stmt.orelse and body_end is not None:
+            body_end = self._stmts(stmt.orelse, body_end)
+        join = self._block()
+        if body_end is not None:
+            self.cfg.blocks[body_end].add_succ(join)
+        # Exceptions may leave the body at any point: edge from every block
+        # the body created to every handler (coarse but sound for a
+        # may-analysis).
+        body_blocks = [b for b in range(body_start, join)
+                       if b in self.cfg.blocks]
+        for handler in stmt.handlers:
+            h_b = self._block()
+            for b in body_blocks:
+                self.cfg.blocks[b].add_succ(h_b)
+            h_end = self._stmts(handler.body, h_b)
+            if h_end is not None:
+                self.cfg.blocks[h_end].add_succ(join)
+        if stmt.finalbody:
+            fin_b = self._block()
+            self.cfg.blocks[join].add_succ(fin_b)
+            return self._stmts(stmt.finalbody, fin_b)
+        return join
+
+    def _match(self, stmt: ast.Match, current: int) -> int | None:
+        self.cfg.blocks[current].stmts.append(stmt)
+        join = self._block()
+        any_open = False
+        for case in stmt.cases:
+            c_b = self._block()
+            self.cfg.blocks[current].add_succ(c_b)
+            c_end = self._stmts(case.body, c_b)
+            if c_end is not None:
+                self.cfg.blocks[c_end].add_succ(join)
+                any_open = True
+        self.cfg.blocks[current].add_succ(join)          # no case matched
+        return join if True else (join if any_open else None)
+
+
+def build_cfg(fn) -> CFG:
+    """CFG for an ``ast.FunctionDef`` / ``AsyncFunctionDef`` body."""
+    return _Builder().build(fn.body)
+
+
+# ---------------------------------------------------------------------------
+# Worklist solver
+# ---------------------------------------------------------------------------
+
+def _join(states: list[dict]) -> dict:
+    out: dict[str, frozenset] = {}
+    for state in states:
+        for var, facts in state.items():
+            out[var] = out.get(var, frozenset()) | facts
+    return out
+
+
+def solve_forward(cfg: CFG, analysis, entry_state: dict | None = None,
+                  max_passes: int = 64) -> dict[int, dict]:
+    """Forward may-analysis fixpoint; returns the in-state of every block.
+
+    ``analysis.transfer_stmt(stmt, state) -> state`` must be monotone in
+    the per-variable union lattice; ``entry_state`` seeds the entry block
+    (parameter taints, for instance).
+    """
+    in_states: dict[int, dict] = {cfg.entry: dict(entry_state or {})}
+    worklist = [cfg.entry]
+    passes = 0
+    while worklist and passes < max_passes * max(len(cfg.blocks), 1):
+        passes += 1
+        bid = worklist.pop(0)
+        state = dict(in_states.get(bid, {}))
+        for stmt in cfg.blocks[bid].stmts:
+            state = analysis.transfer_stmt(stmt, state)
+        for succ in cfg.blocks[bid].succs:
+            merged = _join([in_states.get(succ, {}), state])
+            if merged != in_states.get(succ):
+                in_states[succ] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    return in_states
+
+
+def replay(cfg: CFG, analysis, in_states: dict[int, dict]):
+    """Re-run every reachable block once from its fixpoint in-state.
+
+    Yields ``(stmt, state_before)`` pairs; used by policies that record
+    facts (call-argument labels, sink labels) once states have converged.
+    """
+    for bid in sorted(cfg.reachable()):
+        state = dict(in_states.get(bid, {}))
+        for stmt in cfg.blocks[bid].stmts:
+            yield stmt, state
+            state = analysis.transfer_stmt(stmt, state)
+
+
+# ---------------------------------------------------------------------------
+# Assignment-target helpers (shared by both analyses)
+# ---------------------------------------------------------------------------
+
+def _bind(target, facts: frozenset, state: dict) -> None:
+    if isinstance(target, ast.Name):
+        state[target.id] = facts
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _bind(elt, facts, state)
+    elif isinstance(target, ast.Starred):
+        _bind(target.value, facts, state)
+    # Attribute/Subscript stores are not tracked (see module docstring).
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+class ReachingDefinitions:
+    """Facts are definition line numbers; ``state[var]`` = lines whose
+    assignment to ``var`` may reach this point."""
+
+    def transfer_stmt(self, stmt, state: dict) -> dict:
+        state = dict(state)
+        fact = frozenset({getattr(stmt, "lineno", 0)})
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                _bind(t, fact, state)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is None:
+                return state
+            _bind(stmt.target, fact, state)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            _bind(stmt.target, fact, state)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    _bind(item.optional_vars, fact, state)
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    state.pop(t.id, None)
+        return state
+
+    def definitions_at(self, in_states: dict[int, dict], var: str) -> set:
+        out = set()
+        for state in in_states.values():
+            out |= state.get(var, frozenset())
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Taint analysis
+# ---------------------------------------------------------------------------
+
+class TaintPolicy:
+    """Hooks the taint interpreter consults; override per client.
+
+    ``call_result`` decides what a call expression evaluates to (its taint
+    labels); ``record_call`` / ``record_return`` / ``record_sink`` fire
+    only during :func:`replay` (``recording`` is flipped by the caller).
+    """
+
+    recording = False
+
+    def call_result(self, node: ast.Call, base_labels: frozenset,
+                    arg_labels: list, kw_labels: dict) -> frozenset:
+        return frozenset()
+
+    def record_call(self, node: ast.Call, base_labels: frozenset,
+                    arg_labels: list, kw_labels: dict) -> None:
+        pass
+
+    def record_return(self, node: ast.Return, labels: frozenset) -> None:
+        pass
+
+
+class TaintAnalysis:
+    """Label-propagation over expressions; sources/calls via ``policy``."""
+
+    def __init__(self, policy: TaintPolicy):
+        self.policy = policy
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node, state: dict) -> frozenset:
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return state.get(node.id, frozenset())
+        if isinstance(node, ast.Call):
+            base = frozenset()
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = self.eval(func.value, state)
+            args = [self.eval(a, state) for a in node.args]
+            kwargs = {kw.arg: self.eval(kw.value, state)
+                      for kw in node.keywords if kw.arg is not None}
+            if self.policy.recording:
+                self.policy.record_call(node, base, args, kwargs)
+            return self.policy.call_result(node, base, args, kwargs)
+        if isinstance(node, ast.Attribute):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.BinOp):
+            return self.eval(node.left, state) | self.eval(node.right, state)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, state)
+        if isinstance(node, ast.BoolOp):
+            out = frozenset()
+            for v in node.values:
+                out |= self.eval(v, state)
+            return out
+        if isinstance(node, ast.Compare):
+            # A comparison yields a bool: dtype checks like
+            # ``x.dtype == np.float16`` must not taint.
+            for comp in [node.left, *node.comparators]:
+                self.eval(comp, state)      # still visit for call recording
+            return frozenset()
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, state)
+            return self.eval(node.body, state) | self.eval(node.orelse, state)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = frozenset()
+            for elt in node.elts:
+                out |= self.eval(elt, state)
+            return out
+        if isinstance(node, ast.Dict):
+            out = frozenset()
+            for v in node.values:
+                if v is not None:
+                    out |= self.eval(v, state)
+            return out
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, state)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            out = frozenset()
+            for gen in node.generators:
+                out |= self.eval(gen.iter, state)
+            return out | self.eval(node.elt, state)
+        if isinstance(node, ast.DictComp):
+            out = frozenset()
+            for gen in node.generators:
+                out |= self.eval(gen.iter, state)
+            return out | self.eval(node.value, state)
+        if isinstance(node, ast.NamedExpr):
+            labels = self.eval(node.value, state)
+            _bind(node.target, labels, state)
+            return labels
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.Yield):
+            return self.eval(node.value, state) if node.value else frozenset()
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                self.eval(v, state)
+            return frozenset()
+        return frozenset()      # Constant, Lambda, ...
+
+    # -- statements ----------------------------------------------------------
+
+    def transfer_stmt(self, stmt, state: dict) -> dict:
+        state = dict(state)
+        if isinstance(stmt, ast.Assign):
+            labels = self.eval(stmt.value, state)
+            for t in stmt.targets:
+                _bind(t, labels, state)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                _bind(stmt.target, self.eval(stmt.value, state), state)
+        elif isinstance(stmt, ast.AugAssign):
+            labels = self.eval(stmt.value, state)
+            if isinstance(stmt.target, ast.Name):
+                labels |= state.get(stmt.target.id, frozenset())
+            _bind(stmt.target, labels, state)
+        elif isinstance(stmt, ast.Return):
+            labels = self.eval(stmt.value, state)
+            if self.policy.recording:
+                self.policy.record_return(stmt, labels)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, state)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test, state)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            _bind(stmt.target, self.eval(stmt.iter, state), state)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self.eval(item.context_expr, state)
+                if item.optional_vars is not None:
+                    _bind(item.optional_vars, labels, state)
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject, state)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self.eval(sub, state)
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    state.pop(t.id, None)
+        return state

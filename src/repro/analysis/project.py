@@ -1,0 +1,189 @@
+"""Whole-program analyzer: files -> summaries -> deep findings, cached.
+
+:class:`ProjectAnalyzer` drives the deep (``--deep``) pipeline:
+
+1. discover the same ``*.py`` set the shallow walker lints;
+2. per file, either load the cached :class:`FunctionSummary` records (hit:
+   the file's sha256 and the deep-rule signature are unchanged) or re-parse
+   and re-summarize (**this is the only per-file cost that scales with
+   project size** — the count is reported as ``reanalyzed``);
+3. assemble the project :class:`~repro.analysis.callgraph.SymbolTable`
+   and run the global fixpoint rules (:func:`~repro.analysis.deeprules
+   .run_deep_rules`).
+
+Because summaries are a pure function of file content (symbolic labels,
+see :mod:`repro.analysis.summaries`), the dependency-hash story is simple
+and sound: a file's summary entry is invalidated **only** by its own
+content hash; callee changes are picked up by the (cheap, always-run)
+global phase, whose result is additionally memoized under a digest of all
+summaries so a fully-warm rerun does zero rule work.  Editing one leaf
+module therefore re-analyzes exactly one file.
+"""
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .callgraph import ModuleInfo, SymbolTable, parse_module
+from .deeprules import deep_rules_signature, run_deep_rules
+from .findings import Finding
+from .summaries import FunctionSummary, summarize_function
+
+__all__ = ["DeepReport", "ProjectAnalyzer"]
+
+_DEEP_CACHE_VERSION = 1
+
+
+@dataclass
+class DeepReport:
+    """What one deep pass produced (merged into the walker's report)."""
+
+    findings: list = field(default_factory=list)
+    files: int = 0
+    reanalyzed: int = 0             # files whose summaries were recomputed
+    cache_hits: int = 0
+    functions: int = 0
+    parse_errors: list = field(default_factory=list)
+    findings_cached: bool = False   # global phase skipped (digest match)
+
+    def stats(self) -> dict:
+        return {"files": self.files, "reanalyzed": self.reanalyzed,
+                "cache_hits": self.cache_hits, "functions": self.functions,
+                "findings_cached": self.findings_cached}
+
+
+def _module_to_dict(info: ModuleInfo) -> dict:
+    return {
+        "name": info.name,
+        "rel_path": info.rel_path,
+        "imports": info.imports,
+        "defs": info.defs,
+        "functions": sorted(info.functions),
+    }
+
+
+def _module_from_dict(data: dict) -> ModuleInfo:
+    info = ModuleInfo(name=data["name"], rel_path=data["rel_path"],
+                      imports=dict(data.get("imports", {})),
+                      defs=dict(data.get("defs", {})))
+    # Cached modules carry no AST nodes; the symbol table only needs key
+    # membership for resolution, so a placeholder is enough.
+    info.functions = {q: None for q in data.get("functions", [])}
+    return info
+
+
+class ProjectAnalyzer:
+    """Summarize every file once, then run the inter-procedural rules."""
+
+    def __init__(self, root: str | Path | None = None,
+                 cache_path: str | Path | None = None):
+        self.root = Path(root if root is not None else ".").resolve()
+        self.cache_path = Path(cache_path) if cache_path else None
+        self._signature = deep_rules_signature()
+        self._cache = self._load_cache()
+
+    # -- cache ---------------------------------------------------------------
+
+    def _load_cache(self) -> dict:
+        empty = {"version": _DEEP_CACHE_VERSION,
+                 "signature": self._signature, "files": {}, "findings": {}}
+        if self.cache_path is None or not self.cache_path.exists():
+            return empty
+        try:
+            doc = json.loads(self.cache_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return empty
+        if (doc.get("version") != _DEEP_CACHE_VERSION
+                or doc.get("signature") != self._signature):
+            return empty            # deep rule pack changed: start over
+        doc.setdefault("files", {})
+        doc.setdefault("findings", {})
+        return doc
+
+    def save_cache(self) -> None:
+        if self.cache_path is None:
+            return
+        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        self.cache_path.write_text(json.dumps(self._cache, indent=1))
+
+    # -- helpers -------------------------------------------------------------
+
+    def rel_path(self, path: Path) -> str:
+        path = Path(path).resolve()
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _summarize_file(self, rel: str, source: str) -> dict:
+        tree = ast.parse(source)
+        info = parse_module(rel, tree)
+        summaries = [summarize_function(fn)
+                     for fn in info.functions.values()]
+        return {"module": _module_to_dict(info),
+                "summaries": [s.as_dict() for s in summaries]}
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(self, files: list[Path]) -> DeepReport:
+        """Deep-analyze ``files`` (already discovered by the walker)."""
+        report = DeepReport()
+        sources: dict[str, tuple[str, list[str]]] = {}
+        symtab = SymbolTable()
+        summaries: dict[str, FunctionSummary] = {}
+        fresh_files: dict[str, dict] = {}
+
+        for path in files:
+            rel = self.rel_path(path)
+            try:
+                source = Path(path).read_text()
+            except OSError as exc:
+                report.parse_errors.append(f"{rel}: {exc}")
+                continue
+            digest = hashlib.sha256(source.encode()).hexdigest()
+            entry = self._cache["files"].get(rel)
+            if entry is not None and entry.get("sha256") == digest:
+                report.cache_hits += 1
+                payload = entry
+            else:
+                try:
+                    payload = self._summarize_file(rel, source)
+                except SyntaxError as exc:
+                    report.parse_errors.append(f"{rel}: {exc}")
+                    continue
+                payload["sha256"] = digest
+                report.reanalyzed += 1
+            fresh_files[rel] = payload
+            report.files += 1
+            info = _module_from_dict(payload["module"])
+            symtab.add(info)
+            sources[info.name] = (rel, source.splitlines())
+            for data in payload["summaries"]:
+                summ = FunctionSummary.from_dict(data)
+                summaries[summ.qname] = summ
+
+        report.functions = len(summaries)
+        self._cache["files"] = fresh_files
+
+        # Global phase: memoized under a digest of every summary + the
+        # rule signature, so a fully-warm run skips the fixpoints too.
+        global_digest = hashlib.sha256(json.dumps(
+            [self._signature] +
+            [fresh_files[rel].get("sha256", "") for rel in sorted(fresh_files)]
+        ).encode()).hexdigest()
+        cached = self._cache.get("findings", {})
+        if cached.get("digest") == global_digest:
+            report.findings = [Finding.from_dict(d)
+                               for d in cached.get("items", [])]
+            report.findings_cached = True
+        else:
+            report.findings = run_deep_rules(summaries, symtab, sources)
+            self._cache["findings"] = {
+                "digest": global_digest,
+                "items": [f.as_dict() for f in report.findings],
+            }
+        self.save_cache()
+        return report

@@ -41,6 +41,9 @@ def render_text(report: AnalysisReport, show_all: bool = False) -> str:
         summary += f" [{report.cache_hits} cached]"
     if report.fixed:
         summary += f" [{report.fixed} fixed]"
+    if report.deep_stats is not None:
+        summary += (f" [deep: {report.deep_stats['functions']} functions, "
+                    f"{report.deep_stats['reanalyzed']} re-analyzed]")
     lines.append(summary)
     return "\n".join(lines)
 
@@ -61,6 +64,8 @@ def json_document(report: AnalysisReport) -> dict:
         },
         "parse_errors": report.parse_errors,
         "exit_code": report.exit_code,
+        **({"deep": report.deep_stats}
+           if report.deep_stats is not None else {}),
     }
 
 

@@ -89,14 +89,17 @@ class Rule:
         raise NotImplementedError
 
     def finding(self, ctx: FileContext, line: int, col: int, message: str,
-                edits: tuple[Edit, ...] = ()) -> Finding:
+                edits: tuple[Edit, ...] = (), end_line: int = 0) -> Finding:
         return Finding(rule_id=self.id, severity=self.severity,
                        path=ctx.rel_path, line=line, col=col, message=message,
-                       line_text=ctx.line_text(line), edits=edits)
+                       line_text=ctx.line_text(line), edits=edits,
+                       end_line=end_line)
 
     def node_finding(self, ctx: FileContext, node: ast.AST, message: str,
                      edits: tuple[Edit, ...] = ()) -> Finding:
-        return self.finding(ctx, node.lineno, node.col_offset, message, edits)
+        end_line = getattr(node, "end_lineno", None) or 0
+        return self.finding(ctx, node.lineno, node.col_offset, message, edits,
+                            end_line=end_line)
 
 
 # ---------------------------------------------------------------------------
@@ -614,6 +617,24 @@ _DEPRECATED_ALLREDUCE = {
     "hierarchical_allreduce": "hierarchical",
 }
 
+#: Modules whose attribute access reaches the deprecated wrappers (all of
+#: them also expose the ``allreduce`` facade, so rewriting just the
+#: attribute is safe).
+_COMM_MODULES = frozenset({"repro.comm", "repro.comm.reducer",
+                           "repro.comm.api"})
+
+
+def _dotted_prefix(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute chain ending in a plain name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
 
 class DeprecatedAllreduceApi(Rule):
     id = "RPR009"
@@ -626,26 +647,86 @@ class DeprecatedAllreduceApi(Rule):
                    "Use repro.comm.allreduce(world, buffers, "
                    "strategy=...).")
     autofix = True
+    version = 2             # v2: attribute-style call sites are fixable too
 
     #: The wrappers' home and the facade that re-exports the private impls.
     exempt_suffixes = ("comm/reducer.py", "comm/api.py")
 
-    def _call_edits(self, ctx: FileContext, node: ast.Call,
-                    strategy: str) -> tuple[Edit, ...]:
-        """Rewrite ``ring_allreduce(w, bufs, ...)`` to the facade call.
+    def _comm_aliases(self, ctx: FileContext) -> dict[str, str]:
+        """Local names bound to a comm module in this file.
 
-        Only safe when the callee is a plain name and every strategy knob is
-        already a keyword (a positional third argument would land in the
-        facade's keyword-only section and break).
+        Covers ``import repro.comm.reducer as red``, ``from repro.comm
+        import reducer``, and relative forms (``from . import reducer``
+        inside the comm package).
+        """
+        from .callgraph import _resolve_relative, module_name
+
+        aliases: dict[str, str] = {}
+        base_mod = module_name(ctx.rel_path)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name in _COMM_MODULES and a.asname:
+                        aliases[a.asname] = a.name
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    base = _resolve_relative(base_mod, ctx.rel_path,
+                                             node.level, base)
+                for a in node.names:
+                    target = f"{base}.{a.name}" if base else a.name
+                    if target in _COMM_MODULES:
+                        aliases[a.asname or a.name] = target
+        return aliases
+
+    def _attr_edit(self, ctx: FileContext, func: ast.Attribute,
+                   aliases: dict[str, str]) -> Edit | None:
+        """Rewrite only the attribute of ``reducer.ring_allreduce(...)``."""
+        prefix = _dotted_prefix(func.value)
+        if prefix is None:
+            return None
+        if prefix not in _COMM_MODULES:
+            # Expand a leading alias: ``red.`` or ``rc.reducer.``.
+            head, _, rest = prefix.partition(".")
+            target = aliases.get(head)
+            if target is None:
+                return None
+            if (f"{target}.{rest}" if rest else target) not in _COMM_MODULES:
+                return None
+        end_line, end_col = func.end_lineno, func.end_col_offset
+        line = ctx.lines[end_line - 1] if end_line <= len(ctx.lines) else ""
+        start = end_col - len(func.attr)
+        if start < 0 or line[start:end_col] != func.attr:
+            return None         # formatting we don't understand: report only
+        return Edit(end_line, start, end_line, end_col, "allreduce")
+
+    def _call_edits(self, ctx: FileContext, node: ast.Call, strategy: str,
+                    aliases: dict[str, str]) -> tuple[Edit, ...]:
+        """Rewrite a deprecated call to the facade.
+
+        ``ring_allreduce(w, bufs)`` -> ``allreduce(w, bufs,
+        strategy="ring")`` for plain names; for attribute calls whose base
+        is a known comm module (``reducer.ring_allreduce(...)``) only the
+        attribute is rewritten, keeping the receiver.  Only safe when every
+        strategy knob is already a keyword (a positional third argument
+        would land in the facade's keyword-only section and break).
         """
         func = node.func
-        if not isinstance(func, ast.Name) or len(node.args) > 2:
+        if len(node.args) > 2:
             return ()
         segment = ctx.segment(node)
         if segment is None or not segment.endswith(")"):
             return ()
-        name_edit = Edit(func.lineno, func.col_offset,
-                         func.end_lineno, func.end_col_offset, "allreduce")
+        if isinstance(func, ast.Name):
+            name_edit = Edit(func.lineno, func.col_offset,
+                             func.end_lineno, func.end_col_offset,
+                             "allreduce")
+        elif isinstance(func, ast.Attribute):
+            name_edit = self._attr_edit(ctx, func, aliases)
+            if name_edit is None:
+                return ()
+        else:
+            return ()
         inner = segment[:-1]
         insert = (f' strategy="{strategy}"' if inner.rstrip().endswith(",")
                   else f', strategy="{strategy}"')
@@ -657,18 +738,21 @@ class DeprecatedAllreduceApi(Rule):
         if ctx.rel_path.endswith(self.exempt_suffixes):
             return []
         findings = []
+        aliases: dict[str, str] | None = None
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = _call_name(node)
             if name not in _DEPRECATED_ALLREDUCE:
                 continue
+            if aliases is None:
+                aliases = self._comm_aliases(ctx)
             strategy = _DEPRECATED_ALLREDUCE[name]
             findings.append(self.node_finding(
                 ctx, node,
                 f"'{name}' is deprecated; use repro.comm.allreduce(world, "
                 f"buffers, strategy=\"{strategy}\", ...)",
-                edits=self._call_edits(ctx, node, strategy)))
+                edits=self._call_edits(ctx, node, strategy, aliases)))
         return findings
 
 

@@ -36,7 +36,12 @@ from .rules import (FileContext, Rule, StaleSuppression, default_rules,
 
 __all__ = ["Analyzer", "AnalysisReport", "Suppression", "run_lint"]
 
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2      # v2: findings carry end_line; deep-pragma semantics
+
+#: Deep (inter-procedural) rule IDs live in the RPR1xx range.  The shallow
+#: walker cannot see their findings, so pragmas mentioning them are exempt
+#: from stale-suppression detection (the deep pass is what they silence).
+_DEEP_ID_RE = re.compile(r"RPR1\d{2}$")
 
 _DISABLE_RE = re.compile(
     r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*"
@@ -57,7 +62,12 @@ class Suppression:
     def matches(self, finding: Finding) -> bool:
         if finding.rule_id not in self.rule_ids and "all" not in self.rule_ids:
             return False
-        return self.scope == "file" or finding.line == self.line
+        if self.scope == "file":
+            return True
+        # A pragma anywhere on the offending expression counts, so a
+        # multi-line call can carry its disable on any of its lines.
+        last = max(finding.end_line, finding.line)
+        return finding.line <= self.line <= last
 
     def removal_edit(self, source_line: str) -> Edit:
         """Delete the comment (and the spaces separating it from code)."""
@@ -102,6 +112,7 @@ class AnalysisReport:
     fixed: int = 0
     parse_errors: list[str] = field(default_factory=list)
     pruned_entries: list[dict] = field(default_factory=list)
+    deep_stats: dict | None = None      # set when run_lint(deep=True)
 
     @property
     def new_findings(self) -> list[Finding]:
@@ -192,6 +203,8 @@ class Analyzer:
                 continue
             if self._stale_rule.id in sup.rule_ids:
                 continue        # suppressing RPR007 itself: honor it
+            if any(_DEEP_ID_RE.match(rid) for rid in sup.rule_ids):
+                continue        # deep-rule pragma: only --deep can use it
             line_text = ctx.line_text(sup.line)
             stale = Finding(
                 rule_id=self._stale_rule.id,
@@ -295,6 +308,39 @@ def _emit_telemetry(report: AnalysisReport) -> None:
         metrics.counter("analysis.new_findings", rule=rule_id).inc(count)
 
 
+def _run_deep(analyzer: Analyzer, report: AnalysisReport,
+              paths: list[str | Path],
+              deep_cache: str | Path | None) -> None:
+    """Run the whole-program pass and fold its findings into ``report``.
+
+    Deep findings honor the same inline pragmas as shallow ones (a
+    ``# repro-lint: disable=RPR101`` anywhere on the offending call), and
+    flow through baseline matching with the rest of the report.
+    """
+    from .project import ProjectAnalyzer      # deferred: heavier import
+
+    project = ProjectAnalyzer(root=analyzer.root, cache_path=deep_cache)
+    deep = project.run(analyzer.discover(paths))
+    by_path: dict[str, list[Finding]] = {}
+    for f in deep.findings:
+        by_path.setdefault(f.path, []).append(f)
+    for rel, findings in by_path.items():
+        try:
+            source = (analyzer.root / rel).read_text()
+        except OSError:
+            continue
+        for sup in parse_suppressions(source):
+            for f in findings:
+                if sup.matches(f):
+                    f.suppressed = True
+                    sup.used.add(f.rule_id)
+    report.findings.extend(deep.findings)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    report.parse_errors.extend(
+        e for e in deep.parse_errors if e not in report.parse_errors)
+    report.deep_stats = deep.stats()
+
+
 def run_lint(paths: list[str | Path],
              root: str | Path | None = None,
              baseline_path: str | Path | None = None,
@@ -302,7 +348,9 @@ def run_lint(paths: list[str | Path],
              prune_baseline: bool = False,
              fix: bool = False,
              cache_path: str | Path | None = None,
-             rules: list[Rule] | None = None) -> AnalysisReport:
+             rules: list[Rule] | None = None,
+             deep: bool = False,
+             deep_cache: str | Path | None = None) -> AnalysisReport:
     """One full lint run: analyze, (fix,) baseline-match, telemetry.
 
     Returns an :class:`AnalysisReport` whose ``exit_code`` is 0 iff every
@@ -311,12 +359,16 @@ def run_lint(paths: list[str | Path],
     ``prune_baseline`` is the shrink-only counterpart: entries that no
     longer match any current finding are dropped (and reported in
     ``pruned_entries``) so the accepted-debt file tracks fixes without
-    ever accepting new findings.
+    ever accepting new findings.  ``deep=True`` additionally runs the
+    whole-program pass (RPR101–RPR104, see :mod:`repro.analysis.project`)
+    with its own summary cache at ``deep_cache``.
     """
     analyzer = Analyzer(rules=rules, root=root, cache_path=cache_path)
     report = analyzer.run(paths)
     if fix:
         report = _apply_fixes(analyzer, report, paths)
+    if deep:
+        _run_deep(analyzer, report, paths, deep_cache)
     if baseline_path is not None:
         baseline_path = Path(baseline_path)
         if update_baseline:

@@ -758,11 +758,15 @@ def _cmd_lint(args) -> int:
     entries that no longer match any finding (fixed debt) without ever
     accepting new ones; ``--fix`` applies every rule autofix in place
     and reports the post-fix state; ``--rules`` prints the rule catalog.
+    ``--deep`` additionally runs the whole-program (inter-procedural)
+    pass — rules RPR101–RPR104 — with its own summary cache
+    (``--deep-cache``) so only changed files are re-analyzed.
     """
-    from .analysis import render_json, render_text, rule_catalog, run_lint
+    from .analysis import (deep_rules, render_json, render_text,
+                           rule_catalog, run_lint)
 
     if args.rules:
-        for row in rule_catalog():
+        for row in rule_catalog() + rule_catalog(deep_rules()):
             fix = " [autofix]" if row["autofix"] else ""
             print(f"{row['id']} {row['name']} ({row['severity']}){fix}")
             print(f"    {row['description']}")
@@ -774,7 +778,9 @@ def _cmd_lint(args) -> int:
         update_baseline=args.update_baseline,
         prune_baseline=args.prune_baseline,
         fix=args.fix,
-        cache_path=args.cache)
+        cache_path=args.cache,
+        deep=args.deep,
+        deep_cache=args.deep_cache)
     if args.format == "json":
         print(render_json(report))
     else:
@@ -1008,6 +1014,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also list baselined and suppressed findings")
     pl.add_argument("--rules", action="store_true",
                     help="print the rule catalog and exit")
+    pl.add_argument("--deep", action="store_true",
+                    help="also run the whole-program pass (RPR101-RPR104: "
+                         "inter-procedural collective/precision/RNG/"
+                         "swallowed-error analysis)")
+    pl.add_argument("--deep-cache", default=None, metavar="PATH",
+                    help="project summary cache for --deep (only changed "
+                         "files are re-summarized; CI restores this file)")
     pl.set_defaults(fn=_cmd_lint)
 
     pb = sub.add_parser(

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from pathlib import Path
 
 import numpy as np
@@ -28,25 +27,34 @@ __all__ = ["SerializationGate", "SampleFileStore", "GATE"]
 
 
 class SerializationGate:
-    """A global lock with contention accounting (models the HDF5 lock)."""
+    """A global lock with contention accounting (models the HDF5 lock).
 
-    def __init__(self):
+    Lock wait/held times are genuine thread-contention measurements, so
+    the gate reads an explicit :class:`~repro.telemetry.clock.WallClock`
+    (injectable for tests) rather than the session clock — simulated time
+    does not advance while a thread blocks on a mutex.
+    """
+
+    def __init__(self, clock=None):
+        from ..telemetry.clock import WallClock
+
         self._lock = threading.Lock()
+        self._clock = clock if clock is not None else WallClock()
         self._held_time = 0.0
         self._wait_time = 0.0
         self._acquisitions = 0
 
     def __enter__(self):
-        t0 = time.perf_counter()
+        t0 = self._clock.now()
         self._lock.acquire()
-        t1 = time.perf_counter()
+        t1 = self._clock.now()
         self._wait_time += t1 - t0
         self._acquisitions += 1
         self._t_enter = t1
         return self
 
     def __exit__(self, *exc):
-        self._held_time += time.perf_counter() - self._t_enter
+        self._held_time += self._clock.now() - self._t_enter
         self._lock.release()
         return False
 

@@ -33,11 +33,24 @@ from ..telemetry import get_active
 from .simmpi import World
 
 __all__ = [
+    "allreduce",
     "naive_allreduce",
     "ring_allreduce",
     "tree_allreduce",
     "hierarchical_allreduce",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy re-export of the facade so RPR009's attribute autofix
+    # (``reducer.ring_allreduce(...)`` -> ``reducer.allreduce(...)``)
+    # keeps working callers working.  Deferred because :mod:`.api`
+    # imports this module's private implementations at module level —
+    # a top-level ``from .api import allreduce`` would be circular.
+    if name == "allreduce":
+        from .api import allreduce
+        return allreduce
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _reduce_span(algorithm: str, world: World, buffers: list[np.ndarray]):

@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import DeadlockError, MessageDropped, RankError, RankFailure
+from ..errors import (CollectiveMismatch, DeadlockError, MessageDropped,
+                      RankError, RankFailure)
 from ..telemetry import get_active
 
 __all__ = ["World", "TrafficStats"]
@@ -124,9 +125,18 @@ class World:
     object with a ``message_action(src, dst, tag)`` method) is consulted on
     every send; ranks killed with :meth:`fail_rank` poison all their
     channels.
+
+    ``collective_checks=True`` enables the opt-in debug assertion behind
+    :meth:`announce_collective`: every rank entering a collective announces
+    its (op, tag, shape, dtype) and any disagreement within a round — or a
+    rank announcing twice before its peers caught up — raises
+    :class:`~repro.errors.CollectiveMismatch` at the call site instead of
+    deadlocking somewhere down the wire.  This is the runtime complement
+    of the static RPR101 analysis (``repro lint --deep``).
     """
 
-    def __init__(self, size: int, fault_injector=None):
+    def __init__(self, size: int, fault_injector=None, *,
+                 collective_checks: bool = False):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = int(size)
@@ -135,6 +145,9 @@ class World:
         self.fault_injector = fault_injector
         self._failed: set[int] = set()
         self._msg_seq = 0           # wire-level message ids (trace context)
+        self.collective_checks = bool(collective_checks)
+        self._pending_collective: dict[int, tuple] = {}
+        self.collective_rounds = 0  # completed, fully-agreed rounds
 
     # -- trace context -------------------------------------------------------
 
@@ -282,6 +295,53 @@ class World:
         if rank in self._failed:
             raise RankFailure(rank)
 
+    # -- collective agreement checks -----------------------------------------
+
+    @staticmethod
+    def _collective_sig(op, tag, shape, dtype) -> tuple:
+        return (str(op), int(tag),
+                tuple(shape) if shape is not None else None,
+                str(dtype) if dtype is not None else None)
+
+    def announce_collective(self, rank: int, op: str, tag: int,
+                            shape=None, dtype=None) -> None:
+        """Debug assertion: ``rank`` declares the collective it is entering.
+
+        No-op unless the world was built with ``collective_checks=True``.
+        Within one *round* (one announcement per alive rank) every
+        announcement must agree on ``(op, tag, shape, dtype)``; a
+        disagreeing rank — or a rank announcing a second collective while
+        peers are still in the current round, i.e. a divergent schedule —
+        raises :class:`~repro.errors.CollectiveMismatch` immediately.
+        """
+        if not self.collective_checks:
+            return
+        self._check_rank(rank)
+        self._check_alive(rank)
+        sig = self._collective_sig(op, tag, shape, dtype)
+        pending = self._pending_collective
+        if rank in pending:
+            raise CollectiveMismatch(
+                f"rank {rank} announced collective {sig[0]!r} (tag {sig[1]})"
+                f" while peers {sorted(set(self.alive_ranks()) - set(pending))}"
+                f" have not entered its previous collective"
+                f" {pending[rank][0]!r} (tag {pending[rank][1]}) — "
+                f"divergent collective schedule")
+        if pending:
+            ref_rank = next(iter(pending))
+            ref = pending[ref_rank]
+            if ref != sig:
+                raise CollectiveMismatch(
+                    f"collective disagreement: rank {rank} announced "
+                    f"op={sig[0]!r} tag={sig[1]} shape={sig[2]} "
+                    f"dtype={sig[3]}, but rank {ref_rank} announced "
+                    f"op={ref[0]!r} tag={ref[1]} shape={ref[2]} "
+                    f"dtype={ref[3]}")
+        pending[rank] = sig
+        if set(self.alive_ranks()) <= set(pending):
+            pending.clear()
+            self.collective_rounds += 1
+
     # -- simple collectives (reference implementations) -----------------------
 
     def exchange(self, payloads: list, pairs: list[tuple[int, int]], tag: int = 0) -> list:
@@ -291,10 +351,20 @@ class World:
             self.send(payload, src, dst, tag)
         return [self.recv(dst, src, tag) for (src, dst) in pairs]
 
+    def _announce_all(self, op: str, tag: int, payload) -> None:
+        """Driver-level collectives enter on every alive rank at once."""
+        if not self.collective_checks:
+            return
+        shape = payload.shape if isinstance(payload, np.ndarray) else None
+        dtype = payload.dtype if isinstance(payload, np.ndarray) else None
+        for r in self.alive_ranks():
+            self.announce_collective(r, op, tag, shape, dtype)
+
     def gather(self, values: list, root: int = 0, tag: int = 1000) -> list:
         """Reference gather: every rank sends its value to root."""
         if len(values) != self.size:
             raise ValueError("need one value per rank")
+        self._announce_all("gather", tag, values[root])
         for r in range(self.size):
             if r != root:
                 self.send(values[r], r, root, tag)
@@ -305,6 +375,7 @@ class World:
 
     def broadcast(self, value, root: int = 0, tag: int = 1001) -> list:
         """Reference broadcast: root sends to every other rank."""
+        self._announce_all("broadcast", tag, value)
         for r in range(self.size):
             if r != root:
                 self.send(value, root, r, tag)

@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..framework import LossScaler, Tensor, apply_fp16_policy, no_grad
+from ..framework.dtypes import FP16, FP32
 from ..framework.module import Module
 from ..telemetry import get_active
 from .losses import class_weights, pixel_weight_map
@@ -108,8 +109,8 @@ class Trainer:
 
     def _cast_inputs(self, images: np.ndarray) -> np.ndarray:
         if self.config.precision == "fp16":
-            return images.astype(np.float16)
-        return images.astype(np.float32)
+            return images.astype(FP16)
+        return images.astype(FP32)
 
     def compute_loss(self, images: np.ndarray, labels: np.ndarray) -> Tensor:
         from ..framework.losses import weighted_cross_entropy

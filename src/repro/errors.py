@@ -18,7 +18,8 @@ Hierarchy::
     ReproError
     ├── CommError                    (the simulated MPI wire)
     │   ├── RankError                (also ValueError)
-    │   └── DeadlockError            (also LookupError)
+    │   ├── DeadlockError            (also LookupError)
+    │   └── CollectiveMismatch       (divergent collective schedule)
     ├── StagingError                 (data staging / read path)
     │   ├── StagingConfigError       (also ValueError)
     │   └── StagingReadError         (also OSError; carries .path)
@@ -37,6 +38,7 @@ __all__ = [
     "CommError",
     "RankError",
     "DeadlockError",
+    "CollectiveMismatch",
     "StagingError",
     "StagingConfigError",
     "StagingReadError",
@@ -66,6 +68,17 @@ class RankError(CommError, ValueError):
 
 class DeadlockError(CommError, LookupError):
     """``recv`` with no matching message pending — a protocol bug."""
+
+
+class CollectiveMismatch(CommError):
+    """Ranks disagree on the collective they are entering.
+
+    Raised by :meth:`repro.comm.simmpi.World.announce_collective` (the
+    opt-in ``collective_checks`` mode) when a rank announces a collective
+    whose op/tag/shape/dtype differs from what its peers announced this
+    round, or announces twice before the round completes — the runtime
+    complement of the static RPR101 analysis.
+    """
 
 
 # -- staging / io ----------------------------------------------------------

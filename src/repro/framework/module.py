@@ -6,6 +6,7 @@ from typing import Iterator
 
 import numpy as np
 
+from .dtypes import FP16
 from .graph import GraphAnalysis, GraphTracer, ShapeProbe
 from .parameter import Parameter
 from .tensor import Tensor
@@ -152,7 +153,7 @@ class Module:
         """Cast working parameter copies (FP16 mode keeps FP32 masters)."""
         dtype = np.dtype(dtype)
         for p in self.parameters():
-            if keep_master and dtype == np.float16:
+            if keep_master and dtype == FP16:
                 p.enable_master_copy()
             p.cast_(dtype)
         return self

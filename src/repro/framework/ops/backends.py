@@ -24,10 +24,10 @@ test-suite verifies.
 """
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from ...telemetry.clock import WallClock
+from .conv import _acc_dtype
 from .conv import conv2d_forward as _plan_forward
 from .conv import conv2d_forward_reference as _tap_gemm_forward
 from .conv import conv_output_size
@@ -42,7 +42,7 @@ def conv2d_im2col(x: np.ndarray, w: np.ndarray, stride: int = 1,
     f, _, kh, kw = w.shape
     oh = conv_output_size(h, kh, stride, padding, dilation)
     ow = conv_output_size(wi, kw, stride, padding, dilation)
-    acc = np.float32 if x.dtype == np.float16 else x.dtype
+    acc = _acc_dtype(x.dtype)
     xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
                 ).astype(acc, copy=False)
     # Columns: (N, C*KH*KW, OH*OW)
@@ -75,7 +75,6 @@ def conv2d_fft(x: np.ndarray, w: np.ndarray, stride: int = 1,
     f, _, kh, kw = w.shape
     oh = conv_output_size(h, kh, stride, padding, dilation)
     ow = conv_output_size(wi, kw, stride, padding, dilation)
-    acc = np.float32 if x.dtype == np.float16 else np.dtype(x.dtype)
     xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
                 ).astype(np.float64, copy=False)
     hp, wp = xp.shape[2], xp.shape[3]
@@ -95,7 +94,7 @@ def conv2d_fft(x: np.ndarray, w: np.ndarray, stride: int = 1,
     start_w = eff_w - 1
     y = y_full[:, :, start_h : start_h + (oh - 1) * stride + 1 : stride,
                start_w : start_w + (ow - 1) * stride + 1 : stride]
-    return y.astype(x.dtype if x.dtype != np.float16 else np.float16, copy=False)
+    return y.astype(x.dtype, copy=False)
 
 
 CONV_BACKENDS = {
@@ -115,12 +114,16 @@ class ConvAutotuner:
     """
 
     def __init__(self, backends: dict | None = None, warmup: int = 0,
-                 repeats: int = 1):
+                 repeats: int = 1, clock=None):
         self.backends = dict(CONV_BACKENDS if backends is None else backends)
         if not self.backends:
             raise ValueError("need at least one backend")
         self.warmup = int(warmup)
         self.repeats = max(int(repeats), 1)
+        # Benchmark timing must be *real* elapsed time even when a
+        # simulated telemetry clock is active, so the default is an
+        # explicit WallClock rather than the session clock.
+        self.clock = clock if clock is not None else WallClock()
         self.cache: dict[tuple, str] = {}
         self.timings: dict[tuple, dict[str, float]] = {}
 
@@ -139,10 +142,10 @@ class ConvAutotuner:
         for name, fn in self.backends.items():
             for _ in range(self.warmup):
                 fn(x, w, stride, padding, dilation)
-            t0 = time.perf_counter()
+            t0 = self.clock.now()
             for _ in range(self.repeats):
                 fn(x, w, stride, padding, dilation)
-            times[name] = (time.perf_counter() - t0) / self.repeats
+            times[name] = (self.clock.now() - t0) / self.repeats
         winner = min(times, key=times.get)
         self.cache[sig] = winner
         self.timings[sig] = times

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..dtypes import FP16, FP32
 from .plan import get_conv_plan
 
 __all__ = [
@@ -57,7 +58,7 @@ def conv_transpose_output_size(
 
 def _acc_dtype(dtype: np.dtype) -> np.dtype:
     """Accumulation dtype: FP16 math accumulates in FP32 (Tensor Cores)."""
-    return np.dtype(np.float32) if dtype == np.float16 else np.dtype(dtype)
+    return FP32 if dtype == FP16 else np.dtype(dtype)
 
 
 def conv2d_forward(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..dtypes import FP16, FP32
 from .conv import conv_output_size
 from .plan import get_depthwise_plan
 
@@ -26,7 +27,7 @@ __all__ = [
 
 
 def _acc_dtype(dtype: np.dtype) -> np.dtype:
-    return np.dtype(np.float32) if dtype == np.float16 else np.dtype(dtype)
+    return FP32 if dtype == FP16 else np.dtype(dtype)
 
 
 def depthwise_conv2d_forward(

@@ -20,6 +20,7 @@ import concurrent.futures
 from dataclasses import dataclass
 
 from ..climate.hdf5store import GATE, SampleFileStore, SerializationGate
+from ..telemetry.clock import WallClock
 
 __all__ = ["scaled_read_bandwidth", "ReadResult", "ThreadedReader"]
 
@@ -75,7 +76,8 @@ class ThreadedReader:
     """
 
     def __init__(self, store: SampleFileStore, num_workers: int = 4,
-                 shared_gate: bool = True, fault_injector=None, retry=None):
+                 shared_gate: bool = True, fault_injector=None, retry=None,
+                 clock=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.store = store
@@ -83,6 +85,10 @@ class ThreadedReader:
         self.shared_gate = shared_gate
         self.fault_injector = fault_injector
         self.retry = retry
+        # Batch wall time is a genuine thread-pool elapsed-time measurement,
+        # so the default is an explicit WallClock — simulated time does not
+        # advance while worker threads block on real file I/O.
+        self.clock = clock if clock is not None else WallClock()
         if shared_gate:
             self._gates = [GATE] * num_workers
         else:
@@ -90,14 +96,12 @@ class ThreadedReader:
 
     def read_indices(self, indices: list[int]):
         """Read samples concurrently; returns (list of samples, ReadResult)."""
-        import time
-
         from ..resilience.retry import RetryPolicy, RetryState, with_retries
 
         unique_gates = {id(g): g for g in self._gates}.values()
         for g in unique_gates:
             g.reset()
-        t0 = time.perf_counter()
+        t0 = self.clock.now()
         results = [None] * len(indices)
         policy = self.retry or RetryPolicy()
         retry_state = RetryState()
@@ -123,7 +127,7 @@ class ThreadedReader:
             ]
             for f in futures:
                 f.result()
-        wall = time.perf_counter() - t0
+        wall = self.clock.now() - t0
         wait = sum(g.stats["wait_time_s"] for g in unique_gates)
         return results, ReadResult(samples=len(indices), wall_time_s=wall,
                                    gate_wait_s=wait,

@@ -23,7 +23,6 @@ windows are gathered into one list, deduplicated through the shared
 """
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +32,7 @@ from ..errors import RankFailure, ReproError
 from ..framework.module import Module
 from ..resilience import RetryPolicy, RetryState, with_retries
 from ..telemetry import get_active
+from ..telemetry.clock import WallClock
 from .request import InferenceRequest
 
 __all__ = ["Replica", "BatchResult", "ReplicaPool"]
@@ -41,9 +41,13 @@ __all__ = ["Replica", "BatchResult", "ReplicaPool"]
 class Replica:
     """One model instance plus its scheduling state."""
 
-    def __init__(self, replica_id: int, model: Module):
+    def __init__(self, replica_id: int, model: Module, clock=None):
         self.replica_id = int(replica_id)
         self.model = model
+        # compute_s must be *measured* wall time even when a simulated
+        # telemetry clock drives the virtual service clock it feeds, so
+        # the default is an explicit WallClock, not the session clock.
+        self.clock = clock if clock is not None else WallClock()
         self.alive = True
         self.busy_until = 0.0        # server-clock time this replica frees up
         self.batches = 0
@@ -64,7 +68,7 @@ class Replica:
         controller's EWMA.
         """
         wh, ww = window_hw
-        t0 = time.perf_counter()
+        t0 = self.clock.now()
         all_tiles: list[np.ndarray] = []
         layout = []
         for req in requests:
@@ -83,7 +87,7 @@ class Replica:
             logits = blend_windows(outs[start: start + count], ys, xs,
                                    hw, window_hw)
             maps.append(np.argmax(logits, axis=0))
-        compute_s = time.perf_counter() - t0
+        compute_s = self.clock.now() - t0
         self.batches += 1
         self.items += len(requests)
         self.windows += len(all_tiles)

@@ -1,0 +1,182 @@
+"""Project symbol table: module naming, imports, call-ref resolution."""
+import ast
+import textwrap
+
+from repro.analysis.callgraph import (
+    SymbolTable,
+    call_ref,
+    module_name,
+    parse_module,
+    qname,
+    split_qname,
+)
+
+
+def module(rel_path, source):
+    return parse_module(rel_path, ast.parse(textwrap.dedent(source)))
+
+
+def table(*mods):
+    symtab = SymbolTable()
+    for m in mods:
+        symtab.add(m)
+    return symtab
+
+
+class TestModuleName:
+    def test_src_prefix_stripped(self):
+        assert module_name("src/repro/comm/api.py") == "repro.comm.api"
+
+    def test_package_init_is_the_package(self):
+        assert module_name("src/repro/comm/__init__.py") == "repro.comm"
+
+    def test_plain_path(self):
+        assert module_name("pkg/util.py") == "pkg.util"
+
+    def test_qname_roundtrip(self):
+        q = qname("pkg.mod", "Cls.meth")
+        assert split_qname(q) == ("pkg.mod", "Cls.meth")
+
+
+class TestParseModule:
+    def test_functions_classes_and_methods_indexed(self):
+        info = module("pkg/m.py", """\
+            def top():
+                pass
+
+            class C:
+                def meth(self):
+                    pass
+            """)
+        assert info.defs == {"top": "func", "C": "class", "C.meth": "func"}
+        assert set(info.functions) == {"pkg.m:top", "pkg.m:C.meth"}
+        assert info.functions["pkg.m:C.meth"].cls == "C"
+
+    def test_nested_defs_not_addressable(self):
+        info = module("pkg/m.py", """\
+            def outer():
+                def inner():
+                    pass
+                return inner
+            """)
+        assert set(info.functions) == {"pkg.m:outer"}
+
+    def test_imports_absolute_and_aliased(self):
+        info = module("pkg/m.py", """\
+            import numpy as np
+            import os.path
+            from pkg.util import helper as h
+            """)
+        assert info.imports["np"] == "numpy"
+        assert info.imports["os"] == "os"
+        assert info.imports["h"] == "pkg.util.helper"
+
+    def test_relative_import_from_module(self):
+        info = module("src/repro/comm/engine.py", """\
+            from .api import allreduce
+            from ..core import trainer
+            """)
+        assert info.imports["allreduce"] == "repro.comm.api.allreduce"
+        assert info.imports["trainer"] == "repro.core.trainer"
+
+    def test_relative_import_from_package_init(self):
+        info = module("src/repro/comm/__init__.py", """\
+            from .api import allreduce
+            """)
+        assert info.imports["allreduce"] == "repro.comm.api.allreduce"
+
+
+class TestCallRef:
+    def refs(self, source):
+        tree = ast.parse(textwrap.dedent(source))
+        return [call_ref(n) for n in ast.walk(tree)
+                if isinstance(n, ast.Call)]
+
+    def test_name_and_attribute_chains(self):
+        assert self.refs("f()\n") == ["f"]
+        assert self.refs("a.b.c()\n") == ["a.b.c"]
+
+    def test_non_name_shaped_is_none(self):
+        assert self.refs("fns[0]()\n") == [None]
+
+
+class TestSymbolTableResolve:
+    def test_local_function(self):
+        util = module("pkg/util.py", """\
+            def helper():
+                pass
+
+            def caller():
+                helper()
+            """)
+        symtab = table(util)
+        assert symtab.resolve("helper", "pkg.util") == "pkg.util:helper"
+
+    def test_from_import_resolves_across_modules(self):
+        util = module("pkg/util.py", "def helper():\n    pass\n")
+        main = module("pkg/main.py", """\
+            from pkg.util import helper
+
+            def run():
+                helper()
+            """)
+        symtab = table(util, main)
+        assert symtab.resolve("helper", "pkg.main") == "pkg.util:helper"
+
+    def test_module_import_attribute_call(self):
+        util = module("pkg/util.py", "def helper():\n    pass\n")
+        main = module("pkg/main.py", """\
+            import pkg.util as u
+
+            def run():
+                u.helper()
+            """)
+        symtab = table(util, main)
+        assert symtab.resolve("u.helper", "pkg.main") == "pkg.util:helper"
+
+    def test_self_method_resolves_to_enclosing_class(self):
+        m = module("pkg/m.py", """\
+            class C:
+                def a(self):
+                    self.b()
+
+                def b(self):
+                    pass
+            """)
+        symtab = table(m)
+        assert symtab.resolve("self.b", "pkg.m", cls="C") == "pkg.m:C.b"
+
+    def test_class_instantiation_resolves_to_init(self):
+        m = module("pkg/m.py", """\
+            class C:
+                def __init__(self):
+                    pass
+            """)
+        main = module("pkg/main.py", """\
+            from pkg.m import C
+
+            def run():
+                C()
+            """)
+        symtab = table(m, main)
+        assert symtab.resolve("C", "pkg.main") == "pkg.m:C.__init__"
+
+    def test_package_reexport_alias_followed(self):
+        api = module("pkg/comm/api.py", "def allreduce():\n    pass\n")
+        init = module("pkg/comm/__init__.py",
+                      "from .api import allreduce\n")
+        main = module("pkg/main.py", """\
+            import pkg.comm
+
+            def run():
+                pkg.comm.allreduce()
+            """)
+        symtab = table(api, init, main)
+        assert (symtab.resolve("pkg.comm.allreduce", "pkg.main")
+                == "pkg.comm.api:allreduce")
+
+    def test_unknown_ref_is_none(self):
+        main = module("pkg/main.py", "def run():\n    np.sum([1])\n")
+        symtab = table(main)
+        assert symtab.resolve("np.sum", "pkg.main") is None
+        assert symtab.resolve("", "pkg.main") is None

@@ -1,0 +1,266 @@
+"""Inter-procedural rules RPR101–RPR104 against a fixture package.
+
+Every positive here crosses at least two call-graph edges — the whole
+point of the deep pass is catching what the single-file walker cannot.
+The fixture is written under ``tmp_path`` and analyzed with ``root=``
+the fixture directory so module names resolve (``pkg.main`` etc.).
+"""
+import textwrap
+
+import pytest
+
+from repro.analysis import ProjectAnalyzer, run_lint
+
+COMM = """\
+    def allreduce(buf):
+        return buf
+
+    def helper(world, buf):
+        return allreduce(buf)
+
+    def mid(world, buf):
+        return helper(world, buf)
+    """
+
+MATHS = """\
+    def make_half(x):
+        return x.astype("float16")  # repro-lint: disable=RPR006
+
+    def total(x):
+        return sum(x)
+
+    def reduce_stats(x):
+        return total(x)
+    """
+
+RNG = """\
+    import numpy as np
+
+    def make_rng():
+        return np.random.default_rng()  # repro-lint: disable=RPR003
+
+    def get_rng():
+        return make_rng()
+
+    def seeded_rng():
+        return np.random.default_rng(1234)
+    """
+
+
+def build_fixture(tmp_path, main_source):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "comm.py").write_text(textwrap.dedent(COMM))
+    (pkg / "maths.py").write_text(textwrap.dedent(MATHS))
+    (pkg / "rng.py").write_text(textwrap.dedent(RNG))
+    (pkg / "main.py").write_text(textwrap.dedent(main_source))
+    return tmp_path
+
+
+def deep_findings(tmp_path, main_source):
+    root = build_fixture(tmp_path, main_source)
+    report = run_lint([root], root=root, deep=True)
+    return [f for f in report.findings if f.rule_id.startswith("RPR1")]
+
+
+class TestCollectiveBehindRankBranch:
+    def test_two_deep_chain_under_rank_branch_fires(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            from pkg.comm import mid
+
+            def run(world, buf):
+                if world.rank == 0:
+                    mid(world, buf)
+            """)
+        assert [f.rule_id for f in found] == ["RPR101"]
+        f = found[0]
+        assert f.path == "pkg/main.py" and f.line == 5
+        # The witness chain names every hop down to the collective.
+        assert "comm.mid -> comm.helper -> allreduce()" in f.message
+
+    def test_unguarded_chain_is_silent(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            from pkg.comm import mid
+
+            def run(world, buf):
+                mid(world, buf)
+            """)
+        assert found == []
+
+    def test_both_arms_flagged_like_rpr001(self, tmp_path):
+        # RPR101 mirrors RPR001: every arm of a rank branch is flagged,
+        # symmetric or not (hoisting above the branch is always the fix).
+        found = deep_findings(tmp_path, """\
+            from pkg.comm import mid
+
+            def run(world, buf):
+                if world.rank == 0:
+                    mid(world, buf)
+                else:
+                    mid(world, buf)
+            """)
+        assert [f.rule_id for f in found] == ["RPR101", "RPR101"]
+
+    def test_nested_def_resets_rank_scope(self, tmp_path):
+        # The branch guards the *definition*, not the call — same scope
+        # reset as RPR001.
+        found = deep_findings(tmp_path, """\
+            from pkg.comm import mid
+
+            def run(world, buf):
+                if world.rank == 0:
+                    def later():
+                        return mid(world, buf)
+                    return later
+            """)
+        assert found == []
+
+
+class TestFp16IntoAccumulation:
+    def test_fp16_return_value_reaches_remote_sum(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            from pkg.maths import make_half, reduce_stats
+
+            def run(x):
+                h = make_half(x)
+                return reduce_stats(h)
+            """)
+        assert [f.rule_id for f in found] == ["RPR102"]
+        f = found[0]
+        assert f.path == "pkg/main.py" and "reduce_stats" in f.message
+
+    def test_untainted_value_is_silent(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            from pkg.maths import reduce_stats
+
+            def run(x):
+                return reduce_stats(x)
+            """)
+        assert found == []
+
+
+class TestUnseededRngFlow:
+    def test_unseeded_rng_via_two_returns_fires_at_draw(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            from pkg.rng import get_rng
+
+            def run():
+                r = get_rng()
+                return r.normal()
+            """)
+        assert [f.rule_id for f in found] == ["RPR103"]
+        assert found[0].path == "pkg/main.py"
+
+    def test_seeded_rng_is_silent(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            from pkg.rng import seeded_rng
+
+            def run():
+                r = seeded_rng()
+                return r.normal()
+            """)
+        assert found == []
+
+
+class TestSwallowedErrorOnCollectivePath:
+    def test_broad_handler_around_two_deep_collective_fires(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            from pkg.comm import mid
+
+            def run(world, buf):
+                try:
+                    mid(world, buf)
+                except Exception:
+                    pass
+            """)
+        assert [f.rule_id for f in found] == ["RPR104"]
+        assert "collective" in found[0].message
+
+    def test_reraising_handler_is_silent(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            from pkg.comm import mid
+
+            def run(world, buf):
+                try:
+                    mid(world, buf)
+                except Exception:
+                    raise
+            """)
+        assert found == []
+
+    def test_broad_handler_without_collective_is_silent(self, tmp_path):
+        found = deep_findings(tmp_path, """\
+            def run(x):
+                try:
+                    print(x)
+                except Exception:
+                    pass
+            """)
+        assert found == []
+
+
+class TestSuppressionAndBaselineReuse:
+    def test_pragma_suppresses_deep_finding(self, tmp_path):
+        root = build_fixture(tmp_path, """\
+            from pkg.comm import mid
+
+            def run(world, buf):
+                if world.rank == 0:
+                    mid(world, buf)  # repro-lint: disable=RPR101
+            """)
+        report = run_lint([root], root=root, deep=True)
+        assert report.exit_code == 0
+        suppressed = [f for f in report.findings if f.suppressed]
+        assert "RPR101" in {f.rule_id for f in suppressed}
+        assert not [f for f in report.new_findings
+                    if f.rule_id == "RPR101"]
+
+
+class TestProjectCache:
+    def run(self, root, cache):
+        analyzer = ProjectAnalyzer(root=root, cache_path=cache)
+        files = sorted((root / "pkg").glob("*.py"))
+        return analyzer.run(files)
+
+    @pytest.fixture
+    def fixture_root(self, tmp_path):
+        return build_fixture(tmp_path, """\
+            from pkg.comm import mid
+
+            def run(world, buf):
+                if world.rank == 0:
+                    mid(world, buf)
+            """)
+
+    def test_warm_rerun_reanalyzes_nothing(self, fixture_root, tmp_path):
+        cache = tmp_path / "deep-cache.json"
+        r1 = self.run(fixture_root, cache)
+        assert r1.reanalyzed == 5 and r1.cache_hits == 0
+        assert [f.rule_id for f in r1.findings] == ["RPR101"]
+        r2 = self.run(fixture_root, cache)
+        assert r2.reanalyzed == 0 and r2.cache_hits == 5
+        # Even the global fixpoint phase is skipped on a digest match …
+        assert r2.findings_cached
+        # … and cached findings deserialize identically.
+        assert [f.as_dict() for f in r2.findings] == [
+            f.as_dict() for f in r1.findings]
+
+    def test_touching_one_leaf_reanalyzes_exactly_one_file(
+            self, fixture_root, tmp_path):
+        cache = tmp_path / "deep-cache.json"
+        self.run(fixture_root, cache)
+        rng = fixture_root / "pkg" / "rng.py"
+        rng.write_text(rng.read_text() + "\n# touched\nX = 1\n")
+        r2 = self.run(fixture_root, cache)
+        assert r2.reanalyzed == 1 and r2.cache_hits == 4
+        assert not r2.findings_cached
+        assert [f.rule_id for f in r2.findings] == ["RPR101"]
+
+    def test_deep_stats_surface_in_walker_report(self, fixture_root,
+                                                 tmp_path):
+        report = run_lint([fixture_root], root=fixture_root, deep=True,
+                          deep_cache=tmp_path / "deep-cache.json")
+        assert report.deep_stats is not None
+        assert report.deep_stats["functions"] >= 10
+        assert report.deep_stats["files"] == 5

@@ -1,0 +1,218 @@
+"""CFG construction and the abstract-interpretation framework."""
+import ast
+import textwrap
+
+from repro.analysis.flow import (
+    ReachingDefinitions,
+    TaintAnalysis,
+    TaintPolicy,
+    build_cfg,
+    replay,
+    solve_forward,
+)
+
+
+def fn(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return next(n for n in tree.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)))
+
+
+class TestCfg:
+    def test_straight_line_is_one_block_plus_exit(self):
+        cfg = build_cfg(fn("""\
+            def f(x):
+                y = x + 1
+                return y
+            """))
+        reachable = cfg.reachable()
+        assert cfg.exit in reachable
+        body_blocks = [b for b in reachable if cfg.blocks[b].stmts]
+        assert len(body_blocks) == 1
+
+    def test_if_else_diamond(self):
+        cfg = build_cfg(fn("""\
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """))
+        branch = next(b for b in cfg.reachable()
+                      if cfg.blocks[b].stmts
+                      and isinstance(cfg.blocks[b].stmts[-1], ast.If))
+        assert len(cfg.blocks[branch].succs) == 2
+
+    def test_while_has_back_edge(self):
+        cfg = build_cfg(fn("""\
+            def f(n):
+                i = 0
+                while i < n:
+                    i += 1
+                return i
+            """))
+        header = next(b for b in cfg.reachable()
+                      if cfg.blocks[b].stmts
+                      and isinstance(cfg.blocks[b].stmts[-1], ast.While))
+        # Some reachable block flows back to the loop header.
+        assert any(header in cfg.blocks[b].succs
+                   for b in cfg.reachable() if b != header
+                   and not any(isinstance(s, ast.While)
+                               for s in cfg.blocks[b].stmts))
+
+    def test_return_ends_path(self):
+        cfg = build_cfg(fn("""\
+            def f(c):
+                if c:
+                    return 1
+                return 2
+            """))
+        for b in cfg.reachable():
+            stmts = cfg.blocks[b].stmts
+            if stmts and isinstance(stmts[-1], ast.Return):
+                assert cfg.blocks[b].succs == [cfg.exit]
+
+    def test_try_body_reaches_handler(self):
+        cfg = build_cfg(fn("""\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    recover()
+                return 0
+            """))
+        # Both the call and the handler statement are reachable.
+        calls = [s for b in cfg.reachable() for s in cfg.blocks[b].stmts
+                 if isinstance(s, ast.Expr)]
+        assert len(calls) == 2
+
+
+class TestReachingDefinitions:
+    def solve(self, source):
+        f = fn(source)
+        cfg = build_cfg(f)
+        rd = ReachingDefinitions()
+        return rd, cfg, solve_forward(cfg, rd)
+
+    def test_both_branch_defs_reach_the_join(self):
+        rd, cfg, states = self.solve("""\
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """)
+        assert rd.definitions_at(states, "x") == {3, 5}
+
+    def test_redefinition_kills_upstream_def_in_exit_state(self):
+        rd, cfg, states = self.solve("""\
+            def f():
+                x = 1
+                x = 2
+                return x
+            """)
+        assert states[cfg.exit]["x"] == frozenset({3})
+
+    def test_loop_carried_definition(self):
+        rd, cfg, states = self.solve("""\
+            def f(n):
+                i = 0
+                for _ in range(n):
+                    i = i + 1
+                return i
+            """)
+        # Both the initial and the loop-body definition reach the exit.
+        assert states[cfg.exit]["i"] == frozenset({2, 4})
+
+
+class RecordingPolicy(TaintPolicy):
+    """Test policy: ``source()`` is tainted, calls propagate arg labels."""
+
+    def __init__(self):
+        self.returns = []
+
+    def call_result(self, node, base_labels, arg_labels, kw_labels):
+        if isinstance(node.func, ast.Name) and node.func.id == "source":
+            return frozenset({"T"})
+        out = frozenset()
+        for labels in arg_labels:
+            out |= labels
+        return out
+
+    def record_return(self, node, labels):
+        if self.recording:
+            self.returns.append(labels)
+
+
+class TestTaintAnalysis:
+    def run(self, source, entry=None):
+        f = fn(source)
+        cfg = build_cfg(f)
+        policy = RecordingPolicy()
+        taint = TaintAnalysis(policy)
+        states = solve_forward(cfg, taint, entry_state=entry)
+        policy.recording = True
+        ret = {}
+        for stmt, state in replay(cfg, taint, states):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                ret = dict(state)
+        return policy, ret
+
+    def test_taint_flows_through_assignment_chain(self):
+        policy, state = self.run("""\
+            def f():
+                a = source()
+                b = a
+                c = wrap(b)
+                return c
+            """)
+        assert state["c"] == frozenset({"T"})
+
+    def test_one_tainted_branch_taints_the_join(self):
+        policy, state = self.run("""\
+            def f(c):
+                if c:
+                    x = source()
+                else:
+                    x = 0
+                return x
+            """)
+        assert state["x"] == frozenset({"T"})
+
+    def test_compare_does_not_propagate(self):
+        policy, state = self.run("""\
+            def f():
+                x = source()
+                ok = x == 5
+                return ok
+            """)
+        assert state["ok"] == frozenset()
+
+    def test_entry_state_seeds_parameters(self):
+        policy, state = self.run("""\
+            def f(p):
+                y = p + 1
+                return y
+            """, entry={"p": frozenset({"param:0"})})
+        assert state["y"] == frozenset({"param:0"})
+
+    def test_loop_taint_converges(self):
+        policy, state = self.run("""\
+            def f(n):
+                x = 0
+                for _ in range(n):
+                    x = wrap(x) + source()
+                return x
+            """)
+        assert state["x"] == frozenset({"T"})
+
+    def test_augassign_accumulates(self):
+        policy, state = self.run("""\
+            def f():
+                x = 0
+                x += source()
+                return x
+            """)
+        assert state["x"] == frozenset({"T"})

@@ -359,9 +359,24 @@ class TestDeprecatedAllreduceApi:
         assert 'strategy="naive"' in fixed
         assert ",," not in fixed
 
-    def test_attribute_call_flagged_without_edit(self):
-        findings = check(DeprecatedAllreduceApi(), """\
+    def test_attribute_call_autofixed_through_module_alias(self):
+        source = textwrap.dedent("""\
             import repro.comm.reducer as red
+
+            def exchange(w, bufs):
+                return red.tree_allreduce(w, bufs)
+            """)
+        findings = check(DeprecatedAllreduceApi(), source)
+        assert len(findings) == 1
+        fixed, applied = apply_edits(source, list(findings[0].edits))
+        assert applied == 2
+        assert 'red.allreduce(w, bufs, strategy="tree")' in fixed
+
+    def test_attribute_call_on_unknown_module_flagged_without_edit(self):
+        # ``red`` is not an import of a repro.comm module here, so the
+        # attribute target cannot be proven to expose the facade.
+        findings = check(DeprecatedAllreduceApi(), """\
+            import redlib as red
 
             def exchange(w, bufs):
                 return red.tree_allreduce(w, bufs)

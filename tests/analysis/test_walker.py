@@ -95,6 +95,32 @@ class TestSuppressions:
         assert stale.rule_id == "RPR007" and stale.fixable
         assert "matches no finding" in stale.message
 
+    def test_pragma_on_multiline_call_continuation_suppresses(self, tmp_path):
+        """A finding spans its whole node (``end_line``); a pragma on any
+        line of a multi-line call — not just the opening line — matches."""
+        write(tmp_path, "a.py", """\
+            out = ring_allreduce(
+                w,
+                bufs,  # repro-lint: disable=RPR009
+            )
+            """)
+        report = run_lint([tmp_path], root=tmp_path)
+        assert report.exit_code == 0
+        assert report.suppressed_count == 1
+
+    def test_pragma_past_the_call_span_does_not_suppress(self, tmp_path):
+        write(tmp_path, "a.py", """\
+            out = ring_allreduce(
+                w,
+                bufs,
+            )
+            x = 1  # repro-lint: disable=RPR009
+            """)
+        report = run_lint([tmp_path], root=tmp_path)
+        rules = sorted(f.rule_id for f in report.new_findings)
+        # The finding survives and the out-of-range pragma is stale.
+        assert rules == ["RPR007", "RPR009"]
+
     def test_parse_suppressions_coordinates(self):
         sups = parse_suppressions(
             "x = 1  # repro-lint: disable=RPR001, RPR002\n")
@@ -140,6 +166,33 @@ class TestCache:
         analyzer = Analyzer(root=proj, cache_path=cache)
         report = analyzer.run([proj])
         assert report.cache_hits == 0
+
+    def test_rule_version_bump_invalidates_whole_cache(self, tmp_path):
+        """Bumping one rule's ``version`` changes the rule-set signature,
+        so every cached per-file result is discarded — cached findings
+        computed under the old rule semantics must never be replayed."""
+        from repro.analysis.rules import BroadExcept, default_rules
+
+        proj = tmp_path / "proj"
+        proj.mkdir()
+        write(proj, "a.py", BROAD)
+        write(proj, "b.py", "x = 1\n")
+        cache = tmp_path / "cache.json"
+
+        class BumpedSwallow(BroadExcept):
+            version = BroadExcept.version + 1
+
+        rules = default_rules()
+        analyzer = Analyzer(rules=rules, root=proj, cache_path=cache)
+        analyzer.run([proj])
+        bumped = [BumpedSwallow() if isinstance(r, BroadExcept)
+                  else r for r in rules]
+        analyzer2 = Analyzer(rules=bumped, root=proj, cache_path=cache)
+        report = analyzer2.run([proj])
+        assert report.cache_hits == 0
+        # Same rule set again: everything is reused.
+        analyzer3 = Analyzer(rules=bumped, root=proj, cache_path=cache)
+        assert analyzer3.run([proj]).cache_hits == 2
 
     def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
         proj = tmp_path / "proj"

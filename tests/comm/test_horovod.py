@@ -3,6 +3,7 @@ import numpy as np
 import pytest
 
 from repro.comm import HorovodConfig, World, allreduce_gradients, fuse_order
+from repro.framework.dtypes import FP16
 
 
 class TestFusion:
@@ -100,7 +101,7 @@ class TestExchange:
         assert len(report.negotiation.order) == 5
 
     def test_dtype_preserved(self):
-        grads = [{"w": np.ones((2, 2), dtype=np.float16)} for _ in range(2)]
+        grads = [{"w": np.ones((2, 2), dtype=FP16)} for _ in range(2)]
         avg, _ = allreduce_gradients(World(2), grads,
                                      HorovodConfig(algorithm="ring"))
-        assert avg[0]["w"].dtype == np.float16
+        assert avg[0]["w"].dtype == FP16

@@ -237,3 +237,59 @@ class TestReferenceCollectives:
         w = World(3)
         with pytest.raises(ValueError):
             w.gather([1, 2], root=0)
+
+
+class TestCollectiveChecks:
+    def test_off_by_default_and_noop(self):
+        w = World(2)
+        assert w.collective_checks is False
+        w.announce_collective(0, "allreduce", 7)   # no-op, nothing pending
+        assert w.collective_rounds == 0
+
+    def test_agreed_round_completes(self):
+        w = World(3, collective_checks=True)
+        for r in range(3):
+            w.announce_collective(r, "allreduce", 7, (4,), "float32")
+        assert w.collective_rounds == 1
+
+    def test_disagreeing_signature_raises_at_call_site(self):
+        from repro.errors import CollectiveMismatch
+
+        w = World(2, collective_checks=True)
+        w.announce_collective(0, "allreduce", 7, (4,), "float32")
+        with pytest.raises(CollectiveMismatch, match="disagreement"):
+            w.announce_collective(1, "allreduce", 7, (8,), "float32")
+
+    def test_divergent_schedule_raises(self):
+        from repro.errors import CollectiveMismatch
+
+        w = World(2, collective_checks=True)
+        w.announce_collective(0, "allreduce", 7)
+        with pytest.raises(CollectiveMismatch, match="divergent"):
+            w.announce_collective(0, "broadcast", 8)
+
+    def test_failed_rank_excluded_from_round(self):
+        w = World(3, collective_checks=True)
+        w.fail_rank(2)
+        w.announce_collective(0, "allreduce", 7)
+        w.announce_collective(1, "allreduce", 7)
+        assert w.collective_rounds == 1
+
+    def test_reference_collectives_announce(self):
+        w = World(2, collective_checks=True)
+        w.broadcast("hello", root=0)
+        w.gather(["a", "b"], root=0)
+        assert w.collective_rounds == 2
+
+    def test_allreduce_facade_announces(self):
+        from repro.comm import allreduce
+
+        w = World(2, collective_checks=True)
+        bufs = [np.ones(4, dtype=np.float32) for _ in range(2)]
+        allreduce(w, bufs, strategy="ring")
+        assert w.collective_rounds >= 1
+
+    def test_mismatch_is_a_comm_error(self):
+        from repro.errors import CollectiveMismatch, CommError
+
+        assert issubclass(CollectiveMismatch, CommError)

@@ -6,6 +6,7 @@ from repro.climate import ClimateDataset, Grid, class_frequencies
 from repro.core import TrainConfig, Trainer, build_optimizer
 from repro.core.networks import Tiramisu, TiramisuConfig
 from repro.core.optim import LARC, LARS, SGD, Adam, GradientLag
+from repro.framework.dtypes import FP16
 
 GRID = Grid(16, 24)
 
@@ -131,7 +132,7 @@ class TestMixedPrecision:
         tr = Trainer(tiny_model(), TrainConfig(precision="fp16"))
         conv_params = [p for p in tr.model.parameters() if p.data.ndim >= 2]
         assert all(p.master is not None for p in conv_params)
-        assert all(p.data.dtype == np.float16 for p in conv_params)
+        assert all(p.data.dtype == FP16 for p in conv_params)
 
     def test_overflow_skips_step(self, dataset):
         # Absurd static loss scale forces an overflow in fp16 grads.
