@@ -1,0 +1,46 @@
+"""Balsam-style multi-tenant campaign orchestration over virtual time.
+
+The control plane that turns one training job into a *campaign*: a
+persistent JSONL job store with a validated lifecycle state machine, a
+fair-share + priority scheduler across concurrent users, a site launcher
+packing jobs onto :mod:`repro.hpc` machine models with perf-model
+wall-time estimates, and elastic checkpoint/restart on injected faults.
+Exercised end to end by ``python -m repro.cli campaign``.
+"""
+from .job import (
+    JOB_KINDS,
+    LEGAL_TRANSITIONS,
+    STATES,
+    TERMINAL_STATES,
+    Job,
+    Transition,
+)
+from .launcher import SiteConfig, SiteLauncher
+from .report import CampaignReport, summarize
+from .runtime import CheckpointedRuntime, MemoryRuntime
+from .scheduler import FairShareScheduler, SchedulerConfig
+from .service import CampaignService, ServiceConfig
+from .store import JobStore
+from .workload import CampaignConfig, synth_campaign
+
+__all__ = [
+    "JOB_KINDS",
+    "STATES",
+    "TERMINAL_STATES",
+    "LEGAL_TRANSITIONS",
+    "Job",
+    "Transition",
+    "JobStore",
+    "SchedulerConfig",
+    "FairShareScheduler",
+    "SiteConfig",
+    "SiteLauncher",
+    "CheckpointedRuntime",
+    "MemoryRuntime",
+    "ServiceConfig",
+    "CampaignService",
+    "CampaignReport",
+    "summarize",
+    "CampaignConfig",
+    "synth_campaign",
+]

@@ -1,0 +1,236 @@
+"""Campaign jobs: persistent records with a validated state machine.
+
+The paper's exascale campaigns (Section VII) were not one training job but
+hundreds — staged data, packed node allocations, restarts after faults.
+This module gives each unit of that work a durable record, modeled on
+Balsam's job database (Salim et al., PyHPC 2018): every job carries its
+full lifecycle as an append-only transition log with *virtual* timestamps,
+so a campaign replay is bit-identical and auditable.
+
+State machine::
+
+    CREATED ──► STAGED_IN ──► PREPROCESSED ──► RUNNING ──► RUN_DONE ──► DONE
+                                  ▲              │
+                                  │              ▼
+                                  └────────── RUN_ERROR ──► RESTARTING ──► RUNNING
+                                                 │
+                                                 ▼ (restart budget exhausted)
+                                               FAILED
+
+``Job.transition_to`` is the only mutation path: it validates the edge
+against :data:`LEGAL_TRANSITIONS`, applies any field updates, appends a
+:class:`Transition` with the caller's virtual timestamp, and mirrors the
+event into :mod:`repro.telemetry` (``campaign.transition`` counters plus a
+per-state dwell histogram).  Illegal edges raise
+:class:`~repro.errors.InvalidTransition` — the store's replay path goes
+through the same method, so a corrupted log cannot materialize a state
+the machine forbids.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InvalidTransition
+from ..telemetry import get_active
+
+__all__ = [
+    "JOB_KINDS",
+    "STATES",
+    "TERMINAL_STATES",
+    "LEGAL_TRANSITIONS",
+    "Transition",
+    "Job",
+]
+
+JOB_KINDS = ("train", "serve", "label")
+
+#: Every lifecycle state, in rough lifecycle order.
+STATES = ("CREATED", "STAGED_IN", "PREPROCESSED", "RUNNING", "RUN_DONE",
+          "RUN_ERROR", "RESTARTING", "DONE", "FAILED")
+
+TERMINAL_STATES = frozenset({"DONE", "FAILED"})
+
+#: state -> states reachable in one hop.  ``RUN_ERROR -> FAILED`` is the
+#: restart-budget-exhausted edge; ``RESTARTING -> RUNNING`` is the elastic
+#: relaunch on (usually fewer) nodes.
+LEGAL_TRANSITIONS: dict[str, tuple[str, ...]] = {
+    "CREATED": ("STAGED_IN",),
+    "STAGED_IN": ("PREPROCESSED",),
+    "PREPROCESSED": ("RUNNING",),
+    "RUNNING": ("RUN_DONE", "RUN_ERROR"),
+    "RUN_DONE": ("DONE",),
+    "RUN_ERROR": ("RESTARTING", "FAILED"),
+    "RESTARTING": ("RUNNING",),
+    "DONE": (),
+    "FAILED": (),
+}
+
+#: Job fields a transition may mutate (everything else is identity or
+#: bookkeeping owned by the service); keeping the set closed makes log
+#: replay exhaustive.
+MUTABLE_FIELDS = frozenset({
+    "nodes_allocated", "steps_done", "resume_step", "attempt", "ready_s",
+})
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge in a job's lifecycle, stamped with virtual time."""
+
+    t: float                     # virtual seconds since campaign start
+    frm: str
+    to: str
+    reason: str = ""             # e.g. "rank_fail", "restart budget exhausted"
+    fields: dict = field(default_factory=dict)   # job-field updates applied
+
+    def as_dict(self) -> dict:
+        doc = {"t": self.t, "from": self.frm, "to": self.to}
+        if self.reason:
+            doc["reason"] = self.reason
+        if self.fields:
+            doc["fields"] = self.fields
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Transition":
+        return cls(t=float(doc["t"]), frm=doc["from"], to=doc["to"],
+                   reason=doc.get("reason", ""),
+                   fields=dict(doc.get("fields", {})))
+
+
+@dataclass
+class Job:
+    """One unit of campaign work (a training/serving/labeling run).
+
+    Identity and request fields are fixed at submit; progress fields
+    (``state``, ``nodes_allocated``, ``steps_done``, ``resume_step``,
+    ``attempt``, ``ready_s``) change only through :meth:`transition_to`.
+    ``steps`` are the job's own progress unit — samples for training jobs,
+    requests for serving, bytes-chunks for labeling — whatever the cost
+    model meters.
+    """
+
+    job_id: str
+    user: str
+    kind: str                    # one of JOB_KINDS
+    nodes: int                   # requested allocation width
+    steps_total: int             # total progress units to complete
+    submit_s: float = 0.0        # virtual submit time
+    data_bytes: float = 0.0      # bytes to stage in before preprocessing
+    lane: str = "normal"         # scheduler priority lane
+    min_nodes: int = 1           # floor for elastic shrink on restart
+    max_restarts: int = 2
+    name: str = ""
+    # -- progress (mutated via transition_to only) -------------------------
+    state: str = "CREATED"
+    nodes_allocated: int = 0
+    steps_done: int = 0
+    resume_step: int = 0         # checkpointed step the next run starts from
+    attempt: int = 0             # completed launch attempts
+    ready_s: float = 0.0         # when the job last became schedulable
+    transitions: list[Transition] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; "
+                             f"expected one of {JOB_KINDS}")
+        if self.state not in STATES:
+            raise ValueError(f"unknown state {self.state!r}")
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if not 1 <= self.min_nodes <= self.nodes:
+            raise ValueError("need 1 <= min_nodes <= nodes")
+        if self.steps_total < 1:
+            raise ValueError("steps_total must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.data_bytes < 0:
+            raise ValueError("data_bytes must be >= 0")
+
+    # -- state machine -----------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def can_transition(self, to: str) -> bool:
+        return to in LEGAL_TRANSITIONS[self.state]
+
+    def transition_to(self, to: str, t: float, reason: str = "",
+                      **fields) -> Transition:
+        """Move to ``to`` at virtual time ``t``; returns the log record.
+
+        ``fields`` are job-attribute updates riding the edge (restricted
+        to :data:`MUTABLE_FIELDS`).  Raises
+        :class:`~repro.errors.InvalidTransition` for an edge the machine
+        forbids, a timestamp earlier than the previous transition, or an
+        unknown field — replayed logs get exactly the same checks.
+        """
+        if to not in STATES:
+            raise InvalidTransition(f"{self.job_id}: unknown state {to!r}")
+        if not self.can_transition(to):
+            raise InvalidTransition(
+                f"{self.job_id}: illegal transition {self.state} -> {to}")
+        if self.transitions and t < self.transitions[-1].t:
+            raise InvalidTransition(
+                f"{self.job_id}: transition at t={t} before previous "
+                f"t={self.transitions[-1].t}")
+        bad = set(fields) - MUTABLE_FIELDS
+        if bad:
+            raise InvalidTransition(
+                f"{self.job_id}: transition may not mutate {sorted(bad)}")
+        frm = self.state
+        record = Transition(t=float(t), frm=frm, to=to, reason=reason,
+                            fields=dict(fields))
+        dwell = t - (self.transitions[-1].t if self.transitions
+                     else self.submit_s)
+        for key, value in fields.items():
+            setattr(self, key, value)
+        self.state = to
+        self.transitions.append(record)
+        tel = get_active()
+        if tel.enabled:
+            tel.metrics.counter("campaign.transition",
+                                **{"from": frm, "to": to}).inc()
+            tel.metrics.histogram("campaign.dwell_s", state=frm).observe(dwell)
+            tel.tracer.instant("job_transition", category="campaign",
+                               job=self.job_id, frm=frm, to=to,
+                               reason=reason or None)
+        return record
+
+    # -- derived views -----------------------------------------------------
+
+    def dwell_times(self) -> dict[str, float]:
+        """Virtual seconds spent in each *exited* state, summed."""
+        out: dict[str, float] = {}
+        prev_t = self.submit_s
+        for tr in self.transitions:
+            out[tr.frm] = out.get(tr.frm, 0.0) + (tr.t - prev_t)
+            prev_t = tr.t
+        return out
+
+    @property
+    def restarts(self) -> int:
+        return sum(tr.to == "RESTARTING" for tr in self.transitions)
+
+    def finished_s(self) -> float | None:
+        """Virtual time the job reached a terminal state, if it has."""
+        if not self.terminal or not self.transitions:
+            return None
+        return self.transitions[-1].t
+
+    # -- serialization -----------------------------------------------------
+
+    def spec_dict(self) -> dict:
+        """The submit-time (immutable) fields, for the store's job line."""
+        return {
+            "job_id": self.job_id, "user": self.user, "kind": self.kind,
+            "nodes": self.nodes, "steps_total": self.steps_total,
+            "submit_s": self.submit_s, "data_bytes": self.data_bytes,
+            "lane": self.lane, "min_nodes": self.min_nodes,
+            "max_restarts": self.max_restarts, "name": self.name,
+        }
+
+    @classmethod
+    def from_spec(cls, doc: dict) -> "Job":
+        return cls(**doc)

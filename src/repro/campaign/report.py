@@ -1,0 +1,106 @@
+"""End-of-campaign accounting: makespan, utilization, fairness, dwell.
+
+The numbers the CLI drill prints and the CI smoke job asserts on.  All of
+them derive from the store's transition logs plus the scheduler's usage
+ledger, so a report can be recomputed from a persisted JSONL log alone
+(no live service required) — the same property Balsam gets from keeping
+state in its job database.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .job import STATES, TERMINAL_STATES
+
+__all__ = ["CampaignReport", "summarize"]
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign did, and how fairly/efficiently it did it."""
+
+    jobs: int = 0
+    by_terminal_state: dict[str, int] = field(default_factory=dict)
+    #: Jobs that never reached a terminal state — must be 0 for a drained
+    #: campaign; anything else means the orchestrator lost work.
+    lost_jobs: list[str] = field(default_factory=list)
+    restarts: int = 0
+    checkpoints_saved: int = 0
+    #: job_id -> (resume_step, nodes_before, nodes_after) per restart.
+    resumed: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    makespan_s: float = 0.0
+    #: busy node-seconds / (site nodes x makespan) in [0, 1].
+    utilization: float = 0.0
+    #: user -> lifetime node-seconds consumed.
+    node_seconds: dict[str, float] = field(default_factory=dict)
+    #: max |achieved share - entitled share| over users (0 = perfectly fair).
+    fair_share_error: float = 0.0
+    #: state -> median virtual seconds jobs dwelt there (exited states only).
+    dwell_median_s: dict[str, float] = field(default_factory=dict)
+    injected: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def all_done(self) -> bool:
+        return (not self.lost_jobs
+                and self.by_terminal_state.get("DONE", 0) == self.jobs)
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "by_terminal_state": dict(self.by_terminal_state),
+            "lost_jobs": list(self.lost_jobs),
+            "all_done": self.all_done,
+            "restarts": self.restarts,
+            "checkpoints_saved": self.checkpoints_saved,
+            "resumed": {k: {"resume_step": v[0], "nodes_before": v[1],
+                            "nodes_after": v[2]}
+                        for k, v in self.resumed.items()},
+            "makespan_s": self.makespan_s,
+            "utilization": self.utilization,
+            "node_seconds": dict(self.node_seconds),
+            "fair_share_error": self.fair_share_error,
+            "dwell_median_s": dict(self.dwell_median_s),
+            "injected": dict(self.injected),
+        }
+
+
+def summarize(store, scheduler, site, makespan_s: float,
+              busy_node_s: float, checkpoints_saved: int = 0,
+              injected: dict[str, int] | None = None) -> CampaignReport:
+    """Fold the store + scheduler ledgers into a :class:`CampaignReport`."""
+    report = CampaignReport(jobs=len(store),
+                            checkpoints_saved=checkpoints_saved,
+                            makespan_s=makespan_s,
+                            injected=dict(injected or {}))
+    dwell_samples: dict[str, list[float]] = {s: [] for s in STATES}
+    for job in store:
+        if job.terminal:
+            report.by_terminal_state[job.state] = (
+                report.by_terminal_state.get(job.state, 0) + 1)
+        else:
+            report.lost_jobs.append(job.job_id)
+        report.restarts += job.restarts
+        for state, dwell in job.dwell_times().items():
+            dwell_samples[state].append(dwell)
+        for i, tr in enumerate(job.transitions):
+            if tr.to != "RESTARTING":
+                continue
+            # nodes held before the failure = the allocation recorded on
+            # the attempt's RUNNING edge; after = the shrunk relaunch.
+            before = next(
+                (t.fields["nodes_allocated"]
+                 for t in reversed(job.transitions[:i])
+                 if t.to == "RUNNING" and "nodes_allocated" in t.fields), 0)
+            report.resumed[job.job_id] = (
+                tr.fields.get("resume_step", 0), before,
+                tr.fields.get("nodes_allocated", before))
+    report.dwell_median_s = {
+        state: float(np.median(samples))
+        for state, samples in dwell_samples.items() if samples}
+    report.node_seconds = scheduler.lifetime_usage()
+    report.fair_share_error = scheduler.fair_share_error()
+    if makespan_s > 0 and site.total_nodes > 0:
+        report.utilization = busy_node_s / (site.total_nodes * makespan_s)
+    return report

@@ -1,0 +1,155 @@
+"""Fair-share + priority scheduling across many concurrent users.
+
+The multi-tenant control plane's core question: when free nodes open up,
+*whose* job launches next?  The policy here is the classic HPC fair-share
+triple, deterministic end to end:
+
+* **Priority lanes** — jobs carry a lane (``urgent`` ahead of ``normal``
+  ahead of ``backfill`` by default); higher lanes always drain first.
+  This reuses the :mod:`repro.serve` admission idiom: a closed tuple of
+  lane names, highest priority first.
+* **Fair share with usage decay** — each user's consumed node-seconds
+  decay exponentially (``half_life_s``); within a lane, the user with the
+  least decayed usage goes first, so a tenant who just burned half the
+  machine yields to one who has been waiting, but history is forgiven on
+  the half-life horizon.
+* **Starvation-free aging** — waiting erodes a job's effective usage at
+  ``aging_node_s_per_s``; any job waiting longer than ``promote_after_s``
+  is treated as top-lane, so even ``backfill`` work under a heavy-usage
+  user eventually runs.  For any finite lane population every job's rank
+  strictly improves with wait, which is the starvation-freedom argument.
+
+Ordering ties break by submit index, never by dict order or object id, so
+one (campaign, seed) pair always schedules identically.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .job import Job
+
+__all__ = ["SchedulerConfig", "FairShareScheduler"]
+
+DEFAULT_LANES = ("urgent", "normal", "backfill")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Fair-share policy knobs."""
+
+    lanes: tuple[str, ...] = DEFAULT_LANES    # highest priority first
+    half_life_s: float = 600.0                # usage decay half-life
+    aging_node_s_per_s: float = 1.0           # usage forgiven per wait second
+    promote_after_s: float = 1800.0           # waiting this long => top lane
+    #: Optional per-user share weights, e.g. ``(("alice", 2.0),)``; a
+    #: weight-2 user is entitled to twice the machine of a weight-1 user.
+    weights: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self):
+        if not self.lanes:
+            raise ValueError("need at least one lane")
+        if len(set(self.lanes)) != len(self.lanes):
+            raise ValueError("duplicate lane names")
+        if self.half_life_s <= 0:
+            raise ValueError("half_life_s must be positive")
+        if self.aging_node_s_per_s < 0:
+            raise ValueError("aging_node_s_per_s must be >= 0")
+        if self.promote_after_s <= 0:
+            raise ValueError("promote_after_s must be positive")
+        for user, w in self.weights:
+            if w <= 0:
+                raise ValueError(f"weight for {user!r} must be positive")
+
+    def weight_for(self, user: str) -> float:
+        for name, w in self.weights:
+            if name == user:
+                return w
+        return 1.0
+
+    def lane_index(self, lane: str) -> int:
+        try:
+            return self.lanes.index(lane)
+        except ValueError:
+            raise ValueError(f"unknown lane {lane!r}; "
+                             f"expected one of {self.lanes}") from None
+
+
+class FairShareScheduler:
+    """Orders ready jobs; tracks decayed usage and lifetime allocation."""
+
+    def __init__(self, config: SchedulerConfig | None = None):
+        self.config = config or SchedulerConfig()
+        self._usage: dict[str, float] = {}       # decayed node-seconds
+        self._lifetime: dict[str, float] = {}    # undecayed, for reporting
+        self._now = 0.0
+
+    # -- usage accounting --------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Decay every user's usage forward to virtual time ``now``."""
+        dt = now - self._now
+        if dt < 0:
+            raise ValueError(f"scheduler time cannot move backwards "
+                             f"({self._now} -> {now})")
+        if dt > 0:
+            decay = 0.5 ** (dt / self.config.half_life_s)
+            for user in self._usage:
+                self._usage[user] *= decay
+        self._now = now
+
+    def charge(self, user: str, node_seconds: float) -> None:
+        """Bill ``node_seconds`` of machine to ``user`` (at current time)."""
+        if node_seconds < 0:
+            raise ValueError("node_seconds must be >= 0")
+        self._usage[user] = self._usage.get(user, 0.0) + node_seconds
+        self._lifetime[user] = self._lifetime.get(user, 0.0) + node_seconds
+
+    def usage(self, user: str) -> float:
+        return self._usage.get(user, 0.0)
+
+    def lifetime_usage(self) -> dict[str, float]:
+        """Undecayed node-seconds per user (the fair-share report input)."""
+        return dict(self._lifetime)
+
+    # -- ordering ----------------------------------------------------------
+
+    def _key(self, job: Job, now: float, submit_index: int):
+        wait = max(0.0, now - job.ready_s)
+        lane = self.config.lane_index(job.lane)
+        if wait >= self.config.promote_after_s:
+            lane = 0  # starvation guard: long waiters outrank every lane
+        effective_usage = (
+            self.usage(job.user) / self.config.weight_for(job.user)
+            - self.config.aging_node_s_per_s * wait)
+        return (lane, effective_usage, submit_index)
+
+    def order(self, jobs: list[Job], now: float,
+              submit_index) -> list[Job]:
+        """Launch order for ``jobs`` at ``now``.
+
+        ``submit_index(job_id)`` supplies the deterministic tiebreak
+        (the store's submit order).  Call :meth:`advance` first so usage
+        decay reflects ``now``.
+        """
+        return sorted(jobs,
+                      key=lambda j: self._key(j, now, submit_index(j.job_id)))
+
+    # -- fairness metric ---------------------------------------------------
+
+    def fair_share_error(self) -> float:
+        """Max deviation between achieved and entitled machine share.
+
+        Over users who consumed anything: ``max_u |share_u - entitle_u|``
+        where shares are lifetime (undecayed) node-second fractions and
+        entitlements follow the configured weights.  0 is perfectly fair;
+        1 is one user monopolizing a machine entitled to others.
+        """
+        total = sum(self._lifetime.values())
+        if total <= 0:
+            return 0.0
+        weight_total = sum(self.config.weight_for(u) for u in self._lifetime)
+        worst = 0.0
+        for user, used in self._lifetime.items():
+            entitled = self.config.weight_for(user) / weight_total
+            worst = max(worst, abs(used / total - entitled))
+        return worst

@@ -1,0 +1,159 @@
+"""The persistent campaign job store: an append-only JSONL event log.
+
+Balsam keeps its job database in PostgreSQL; at this reproduction's scale
+a flat append-only log gives the same durability guarantees with none of
+the dependencies.  Two record kinds, one JSON object per line::
+
+    {"event": "job", "job": {...submit-time spec...}}
+    {"event": "transition", "job_id": "...", "t": ..., "from": ..., "to": ...}
+
+Writes are append-and-flush at the moment they happen, so a crashed
+campaign leaves a prefix of the log and a restarted service resumes from
+exactly the recorded states.  :meth:`JobStore.load` replays the log
+through the *same* validated state machine live transitions use — a
+corrupted or hand-edited log that encodes an illegal edge fails loudly
+(:class:`~repro.errors.InvalidTransition`) instead of materializing a
+state the machine forbids.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import CampaignStoreError
+from .job import Job, Transition
+
+__all__ = ["JobStore"]
+
+
+class JobStore:
+    """In-memory job table mirrored to an append-only JSONL log.
+
+    ``path=None`` keeps the store purely in memory (unit tests, ad-hoc
+    simulations); with a path every ``submit``/``transition`` is appended
+    and flushed before returning.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []          # submit order, for determinism
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return (self._jobs[jid] for jid in self._order)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise CampaignStoreError(f"unknown job {job_id!r}") from None
+
+    def jobs(self, state: str | None = None) -> list[Job]:
+        """All jobs in submit order, optionally filtered by state."""
+        out = [self._jobs[jid] for jid in self._order]
+        if state is not None:
+            out = [j for j in out if j.state == state]
+        return out
+
+    def submit_index(self, job_id: str) -> int:
+        """Position of ``job_id`` in submit order (fault plans target it)."""
+        try:
+            return self._order.index(job_id)
+        except ValueError:
+            raise CampaignStoreError(f"unknown job {job_id!r}") from None
+
+    # -- writes ------------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Register a new job and persist its spec line."""
+        if job.job_id in self._jobs:
+            raise CampaignStoreError(f"duplicate job id {job.job_id!r}")
+        if job.transitions or job.state != "CREATED":
+            raise CampaignStoreError(
+                f"job {job.job_id!r} must be submitted in CREATED state")
+        self._jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        self._append({"event": "job", "job": job.spec_dict()})
+        return job
+
+    def transition(self, job: Job, to: str, t: float, reason: str = "",
+                   **fields) -> Transition:
+        """Validated state change + persisted log line, in that order."""
+        record = job.transition_to(to, t, reason=reason, **fields)
+        doc = {"event": "transition", "job_id": job.job_id}
+        doc.update(record.as_dict())
+        self._append(doc)
+        return record
+
+    def _append(self, doc: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- replay ------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JobStore":
+        """Rebuild a store by replaying ``path``; reopens it for append.
+
+        Every transition line is re-applied through
+        :meth:`Job.transition_to`, so replay *is* validation: unknown
+        jobs, illegal edges, or out-of-order timestamps raise instead of
+        loading silently-wrong state.
+        """
+        path = Path(path)
+        store = cls.__new__(cls)
+        store.path = path
+        store._jobs = {}
+        store._order = []
+        store._fh = None
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise CampaignStoreError(
+                        f"{path}:{lineno}: malformed JSON: {exc}") from exc
+                kind = doc.get("event")
+                if kind == "job":
+                    job = Job.from_spec(doc["job"])
+                    if job.job_id in store._jobs:
+                        raise CampaignStoreError(
+                            f"{path}:{lineno}: duplicate job {job.job_id!r}")
+                    store._jobs[job.job_id] = job
+                    store._order.append(job.job_id)
+                elif kind == "transition":
+                    jid = doc.get("job_id")
+                    if jid not in store._jobs:
+                        raise CampaignStoreError(
+                            f"{path}:{lineno}: transition for unknown "
+                            f"job {jid!r}")
+                    tr = Transition.from_dict(doc)
+                    store._jobs[jid].transition_to(
+                        tr.to, tr.t, reason=tr.reason, **tr.fields)
+                else:
+                    raise CampaignStoreError(
+                        f"{path}:{lineno}: unknown event kind {kind!r}")
+        store._fh = open(path, "a", encoding="utf-8")
+        return store

@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli trace --steps 3 --out trace_out
     python -m repro.cli faults --ranks 8 --plan "rank_fail@2:rank=1;read_fault@1"
     python -m repro.cli serve --requests 64 --replicas 2 --plan "rank_fail@2:rank=1"
+    python -m repro.cli campaign --users 3 --jobs 12 --plan "rank_fail@1:rank=0"
     python -m repro.cli lint --format json src tests
 """
 from __future__ import annotations
@@ -748,6 +749,106 @@ def _cmd_serve(args) -> int:
     return 0 if report.lost_admitted == 0 else 1
 
 
+def _cmd_campaign(args) -> int:
+    """Campaign drill: a seeded multi-user campaign through the orchestrator.
+
+    Synthesizes ``--jobs`` jobs from ``--users`` tenants, drives every one
+    of them ``CREATED -> ... -> DONE`` through the Balsam-style campaign
+    service (JSONL store, fair-share scheduler, backfill site launcher,
+    checkpoint/restart), and prints the end-of-campaign report: makespan,
+    utilization, fair-share error, restarts, and per-state dwell medians.
+    ``--plan`` injects faults mid-campaign (``rank`` = submit index);
+    ``--out`` persists the JSONL log, real ``.npz`` checkpoints, and a
+    Chrome trace; ``--json`` emits the machine-readable report the CI
+    smoke job asserts on.  Exit code 1 when any job is lost or fails, or
+    when the fair-share error exceeds ``--fair-bound``.
+    """
+    import json
+    from pathlib import Path
+
+    from .campaign import (CampaignConfig, CampaignService,
+                           CheckpointedRuntime, FairShareScheduler, JobStore,
+                           MemoryRuntime, SchedulerConfig, ServiceConfig,
+                           SiteConfig, SiteLauncher, synth_campaign)
+    from .hpc import PIZ_DAINT, SUMMIT
+    from .perf import format_table
+    from .resilience import FaultPlan
+    from .telemetry import (SimulatedClock, Telemetry, activate,
+                            write_chrome_trace)
+
+    if args.users < 1 or args.jobs < 1 or args.nodes < 1:
+        raise SystemExit("campaign: --users, --jobs, and --nodes "
+                         "must all be >= 1")
+    system = SUMMIT if args.system == "summit" else PIZ_DAINT
+    site = SiteLauncher(SiteConfig(system=system,
+                                   nodes=min(args.nodes, system.nodes)))
+    jobs = synth_campaign(CampaignConfig(
+        num_users=args.users, num_jobs=args.jobs,
+        submit_rate_per_s=args.rate, seed=args.seed))
+    plan = FaultPlan.parse(args.plan, seed=args.seed) if args.plan else None
+    out = Path(args.out) if args.out else None
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        store = JobStore(out / "campaign.jsonl")
+        runtime = CheckpointedRuntime(out / "jobs", seed=args.seed)
+    else:
+        store = JobStore()
+        runtime = MemoryRuntime()
+    clock = SimulatedClock()
+    tel = Telemetry(clock=clock)
+    with activate(tel):
+        service = CampaignService(
+            site, store, FairShareScheduler(SchedulerConfig()), runtime,
+            ServiceConfig(ckpt_every_s=args.ckpt_every_s), plan=plan,
+            clock=clock)
+        for job in jobs:
+            service.submit(job)
+        report = service.run()
+    store.close()
+    if out is not None:
+        trace_path = out / "trace.json"
+        write_chrome_trace(trace_path, tel.tracer.spans())
+        report_path = out / "report.json"
+        report_path.write_text(
+            json.dumps(report.as_dict(), indent=1, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"wrote {out / 'campaign.jsonl'}, {report_path}, "
+                  f"and {trace_path}")
+    ok = report.all_done and report.fair_share_error <= args.fair_bound
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+        return 0 if ok else 1
+    terminal = ", ".join(f"{k}={v}" for k, v in
+                         sorted(report.by_terminal_state.items()))
+    injected = ", ".join(f"{k}={v}" for k, v in sorted(report.injected.items()))
+    resumed = "; ".join(
+        f"{jid}: step {v['resume_step']}, "
+        f"{v['nodes_before']}->{v['nodes_after']} nodes"
+        for jid, v in sorted(report.as_dict()["resumed"].items()))
+    rows = [
+        ["jobs", f"{report.jobs} ({terminal or 'none terminal'})"],
+        ["lost jobs", str(report.lost_jobs or "none")],
+        ["injected", injected or "(none)"],
+        ["restarts", str(report.restarts)],
+        ["resumed", resumed or "(none)"],
+        ["checkpoints saved", str(report.checkpoints_saved)],
+        ["makespan", f"{report.makespan_s:,.1f} virtual s"],
+        ["utilization", f"{report.utilization * 100:.1f}% "
+                        f"of {site.total_nodes} nodes"],
+        ["fair-share error", f"{report.fair_share_error:.4f} "
+                             f"(bound {args.fair_bound})"],
+    ]
+    for user, ns in sorted(report.node_seconds.items()):
+        rows.append([f"{user} usage", f"{ns:,.0f} node-s"])
+    for state, dwell in sorted(report.dwell_median_s.items()):
+        rows.append([f"dwell p50 {state}", f"{dwell:,.1f} s"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"Campaign drill - {args.jobs} jobs, "
+                             f"{args.users} users, seed {args.seed}"))
+    print("campaign OK" if ok else "campaign FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_lint(args) -> int:
     """Distributed-correctness static analysis over the given paths.
 
@@ -991,6 +1092,32 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--out", default="",
                     help="directory for the Chrome trace (optional)")
     pv.set_defaults(fn=_cmd_serve)
+
+    pg = sub.add_parser(
+        "campaign",
+        help="campaign drill: multi-user jobs through the orchestrator")
+    pg.add_argument("--users", type=int, default=3)
+    pg.add_argument("--jobs", type=int, default=12)
+    pg.add_argument("--nodes", type=int, default=32,
+                    help="site size in nodes (capped at the machine)")
+    pg.add_argument("--system", default="summit",
+                    choices=["summit", "piz_daint"])
+    pg.add_argument("--rate", type=float, default=1.0 / 30.0,
+                    help="job arrival rate, jobs/s (Poisson)")
+    pg.add_argument("--ckpt-every-s", type=float, default=10.0,
+                    help="virtual checkpoint cadence while RUNNING")
+    pg.add_argument("--fair-bound", type=float, default=0.25,
+                    help="max tolerated fair-share error")
+    pg.add_argument("--plan", default="",
+                    help="fault schedule, e.g. 'rank_fail@1:rank=0' "
+                         "(rank = job submit index, step = scheduler tick)")
+    pg.add_argument("--seed", type=int, default=0)
+    pg.add_argument("--json", action="store_true",
+                    help="emit the report as JSON (CI smoke job)")
+    pg.add_argument("--out", default="",
+                    help="directory for the JSONL log, checkpoints, "
+                         "report.json, and Chrome trace (optional)")
+    pg.set_defaults(fn=_cmd_campaign)
 
     pl = sub.add_parser(
         "lint",

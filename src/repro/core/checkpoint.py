@@ -190,6 +190,19 @@ class CheckpointManager:
         found = self.checkpoints()
         return found[-1] if found else None
 
+    def exists(self, step: int) -> bool:
+        """True when a managed checkpoint for ``step`` is on disk."""
+        return self.path_for(step).is_file()
+
+    def latest_step(self) -> int | None:
+        """Step number of the newest checkpoint, or ``None`` when empty.
+
+        The restart primitive: resume logic wants "what step do I start
+        from" without re-parsing ``latest()``'s filename itself.
+        """
+        latest = self.latest()
+        return None if latest is None else self._step_of(latest)
+
     # -- verbs -------------------------------------------------------------
 
     def save(self, trainer: Trainer, step: int | None = None,

@@ -26,6 +26,9 @@ Hierarchy::
     ├── CheckpointError              (serialization / restore)
     │   ├── CheckpointFormatError    (also ValueError)
     │   └── CheckpointConfigMismatch (also ValueError)
+    ├── CampaignError                (campaign orchestration)
+    │   ├── InvalidTransition        (also ValueError)
+    │   └── CampaignStoreError       (also ValueError)
     └── FaultInjected                (deliberate, from a FaultPlan)
         ├── RankFailure              (carries .rank)
         ├── ReadFault                (also OSError; carries .path)
@@ -45,6 +48,9 @@ __all__ = [
     "CheckpointError",
     "CheckpointFormatError",
     "CheckpointConfigMismatch",
+    "CampaignError",
+    "InvalidTransition",
+    "CampaignStoreError",
     "FaultInjected",
     "RankFailure",
     "ReadFault",
@@ -111,6 +117,24 @@ class CheckpointFormatError(CheckpointError, ValueError):
 
 class CheckpointConfigMismatch(CheckpointError, ValueError):
     """Checkpoint was written under a different training configuration."""
+
+
+# -- campaign orchestration ------------------------------------------------
+
+class CampaignError(ReproError):
+    """A failure in the campaign orchestration service."""
+
+
+class InvalidTransition(CampaignError, ValueError):
+    """A job-state edge the lifecycle machine forbids.
+
+    Raised both for live transitions and while replaying a persisted
+    JSONL log — a corrupted log cannot materialize an illegal state.
+    """
+
+
+class CampaignStoreError(CampaignError, ValueError):
+    """A malformed or inconsistent campaign job-store log."""
 
 
 # -- injected faults -------------------------------------------------------

@@ -46,10 +46,24 @@ class EventQueue:
         heapq.heappush(self._heap, (time, next(self._counter), callback))
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
-        """Process events in time order; returns the final clock value."""
+        """Process events in time order; returns the final clock value.
+
+        Boundary semantics (the campaign launcher relies on these):
+
+        * ``until`` is **inclusive** — an event scheduled at exactly
+          ``until`` is processed, including events a callback schedules
+          at zero delay once the clock already sits at ``until``.
+        * After a run bounded only by ``until``, the clock lands exactly
+          on ``until`` even if no event reached it, so back-to-back
+          ``run(until=...)`` windows tile time with no gaps.
+        * A run stopped early by ``max_events`` does **not** advance the
+          clock to ``until``: events at or before ``until`` may still be
+          pending, and jumping past them would make the next ``run``
+          appear to move time backwards.
+        """
         while self._heap:
             if max_events is not None and self._processed >= max_events:
-                break
+                return self.now
             time, _, callback = self._heap[0]
             if until is not None and time > until:
                 break

@@ -1,0 +1,154 @@
+"""Job lifecycle state machine: exhaustive edges, logs, serialization."""
+import pytest
+
+from repro.campaign import (
+    JOB_KINDS,
+    LEGAL_TRANSITIONS,
+    STATES,
+    TERMINAL_STATES,
+    Job,
+    Transition,
+)
+from repro.errors import InvalidTransition
+
+
+def make_job(**kw):
+    base = dict(job_id="job-0000", user="user0", kind="train", nodes=4,
+                steps_total=100)
+    base.update(kw)
+    return Job(**base)
+
+
+class TestTransitionMatrix:
+    """Every (from, to) pair behaves exactly as LEGAL_TRANSITIONS says."""
+
+    @pytest.mark.parametrize("frm", STATES)
+    @pytest.mark.parametrize("to", STATES)
+    def test_exhaustive_matrix(self, frm, to):
+        job = make_job(state=frm)
+        if to in LEGAL_TRANSITIONS[frm]:
+            job.transition_to(to, t=1.0)
+            assert job.state == to
+            assert job.transitions[-1].frm == frm
+            assert job.transitions[-1].to == to
+        else:
+            with pytest.raises(InvalidTransition):
+                job.transition_to(to, t=1.0)
+            assert job.state == frm          # unchanged on rejection
+            assert job.transitions == []     # nothing logged
+
+    def test_terminal_states_have_no_exits(self):
+        for state in TERMINAL_STATES:
+            assert LEGAL_TRANSITIONS[state] == ()
+
+    def test_every_state_is_covered(self):
+        assert set(LEGAL_TRANSITIONS) == set(STATES)
+        for targets in LEGAL_TRANSITIONS.values():
+            assert set(targets) <= set(STATES)
+
+    def test_happy_path_end_to_end(self):
+        job = make_job()
+        for i, to in enumerate(
+                ("STAGED_IN", "PREPROCESSED", "RUNNING", "RUN_DONE", "DONE")):
+            job.transition_to(to, t=float(i + 1))
+        assert job.terminal and job.state == "DONE"
+        assert job.finished_s() == 5.0
+
+    def test_restart_loop(self):
+        job = make_job()
+        for t, to in enumerate(("STAGED_IN", "PREPROCESSED", "RUNNING",
+                                "RUN_ERROR", "RESTARTING", "RUNNING",
+                                "RUN_DONE", "DONE")):
+            job.transition_to(to, t=float(t))
+        assert job.restarts == 1
+        assert job.state == "DONE"
+
+
+class TestTransitionValidation:
+    def test_unknown_target_state(self):
+        with pytest.raises(InvalidTransition, match="unknown state"):
+            make_job().transition_to("LIMBO", t=0.0)
+
+    def test_backward_timestamp_rejected(self):
+        job = make_job()
+        job.transition_to("STAGED_IN", t=5.0)
+        with pytest.raises(InvalidTransition, match="before previous"):
+            job.transition_to("PREPROCESSED", t=4.0)
+
+    def test_equal_timestamp_allowed(self):
+        job = make_job()
+        job.transition_to("STAGED_IN", t=5.0)
+        job.transition_to("PREPROCESSED", t=5.0)   # zero-dwell is legal
+        assert job.state == "PREPROCESSED"
+
+    def test_unknown_field_rejected(self):
+        job = make_job()
+        with pytest.raises(InvalidTransition, match="may not mutate"):
+            job.transition_to("STAGED_IN", t=1.0, user="mallory")
+        assert job.user == "user0"
+
+    def test_fields_applied_on_edge(self):
+        job = make_job()
+        for t, to in enumerate(("STAGED_IN", "PREPROCESSED")):
+            job.transition_to(to, t=float(t))
+        job.transition_to("RUNNING", t=2.0, nodes_allocated=3, attempt=1)
+        assert job.nodes_allocated == 3 and job.attempt == 1
+        assert job.transitions[-1].fields == {"nodes_allocated": 3,
+                                              "attempt": 1}
+
+    def test_reason_recorded(self):
+        job = make_job(state="RUNNING")
+        tr = job.transition_to("RUN_ERROR", t=1.0, reason="rank_fail")
+        assert tr.reason == "rank_fail"
+
+
+class TestConstruction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            make_job(kind="mining")
+
+    def test_kinds_are_closed(self):
+        assert JOB_KINDS == ("train", "serve", "label")
+
+    def test_min_nodes_bounds(self):
+        with pytest.raises(ValueError):
+            make_job(min_nodes=0)
+        with pytest.raises(ValueError):
+            make_job(nodes=2, min_nodes=4)
+
+    def test_nonpositive_steps_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(steps_total=0)
+
+
+class TestDerivedViews:
+    def test_dwell_times_sum_per_state(self):
+        job = make_job(submit_s=1.0)
+        job.transition_to("STAGED_IN", t=3.0)      # CREATED for 2s
+        job.transition_to("PREPROCESSED", t=4.0)   # STAGED_IN for 1s
+        job.transition_to("RUNNING", t=9.0)        # PREPROCESSED for 5s
+        assert job.dwell_times() == {"CREATED": 2.0, "STAGED_IN": 1.0,
+                                     "PREPROCESSED": 5.0}
+
+    def test_finished_s_none_until_terminal(self):
+        job = make_job()
+        assert job.finished_s() is None
+        job.transition_to("STAGED_IN", t=1.0)
+        assert job.finished_s() is None
+
+
+class TestSerialization:
+    def test_spec_roundtrip(self):
+        job = make_job(lane="urgent", data_bytes=5e9, name="t-0")
+        clone = Job.from_spec(job.spec_dict())
+        assert clone.spec_dict() == job.spec_dict()
+        assert clone.state == "CREATED" and clone.transitions == []
+
+    def test_transition_dict_roundtrip(self):
+        tr = Transition(t=2.5, frm="RUNNING", to="RUN_ERROR",
+                        reason="rank_fail", fields={"steps_done": 7})
+        assert Transition.from_dict(tr.as_dict()) == tr
+
+    def test_transition_dict_omits_empty(self):
+        doc = Transition(t=1.0, frm="CREATED", to="STAGED_IN").as_dict()
+        assert doc == {"t": 1.0, "from": "CREATED", "to": "STAGED_IN"}

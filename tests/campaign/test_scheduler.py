@@ -1,0 +1,145 @@
+"""Fair-share scheduler: decay, lanes, aging, fairness metric."""
+import pytest
+
+from repro.campaign import FairShareScheduler, Job, SchedulerConfig
+
+
+def make_job(i, user, lane="normal", ready_s=0.0):
+    return Job(job_id=f"job-{i:04d}", user=user, kind="train", nodes=2,
+               steps_total=100, lane=lane, ready_s=ready_s,
+               state="PREPROCESSED")
+
+
+def order_ids(sched, jobs, now):
+    index = {j.job_id: i for i, j in enumerate(jobs)}
+    return [j.job_id for j in sched.order(jobs, now,
+                                          lambda jid: index[jid])]
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        SchedulerConfig()
+
+    def test_duplicate_lanes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SchedulerConfig(lanes=("a", "a"))
+
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(ValueError, match="unknown lane"):
+            SchedulerConfig().lane_index("vip")
+
+    def test_weight_lookup(self):
+        cfg = SchedulerConfig(weights=(("alice", 2.0),))
+        assert cfg.weight_for("alice") == 2.0
+        assert cfg.weight_for("bob") == 1.0
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(weights=(("alice", 0.0),))
+
+
+class TestUsageDecay:
+    def test_halves_per_half_life(self):
+        sched = FairShareScheduler(SchedulerConfig(half_life_s=100.0))
+        sched.charge("u", 80.0)
+        sched.advance(100.0)
+        assert sched.usage("u") == pytest.approx(40.0)
+        sched.advance(300.0)
+        assert sched.usage("u") == pytest.approx(10.0)
+
+    def test_lifetime_never_decays(self):
+        sched = FairShareScheduler(SchedulerConfig(half_life_s=1.0))
+        sched.charge("u", 80.0)
+        sched.advance(1000.0)
+        assert sched.lifetime_usage() == {"u": 80.0}
+
+    def test_time_backwards_rejected(self):
+        sched = FairShareScheduler()
+        sched.advance(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            sched.advance(5.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareScheduler().charge("u", -1.0)
+
+
+class TestOrdering:
+    def test_least_used_user_first(self):
+        sched = FairShareScheduler()
+        sched.charge("hog", 1000.0)
+        jobs = [make_job(0, "hog"), make_job(1, "idle")]
+        assert order_ids(sched, jobs, now=0.0) == ["job-0001", "job-0000"]
+
+    def test_lanes_dominate_usage(self):
+        # An urgent job from the heaviest user still outranks backfill
+        # work from an idle user (until aging kicks in).
+        sched = FairShareScheduler()
+        sched.charge("hog", 1000.0)
+        jobs = [make_job(0, "idle", lane="backfill"),
+                make_job(1, "hog", lane="urgent")]
+        assert order_ids(sched, jobs, now=0.0) == ["job-0001", "job-0000"]
+
+    def test_submit_index_tiebreak(self):
+        sched = FairShareScheduler()
+        jobs = [make_job(1, "u"), make_job(0, "u")]
+        index = {"job-0001": 1, "job-0000": 0}
+        ordered = sched.order(jobs, 0.0, lambda jid: index[jid])
+        assert [j.job_id for j in ordered] == ["job-0000", "job-0001"]
+
+    def test_weights_scale_effective_usage(self):
+        cfg = SchedulerConfig(weights=(("big", 4.0),))
+        sched = FairShareScheduler(cfg)
+        sched.charge("big", 200.0)    # effective 50
+        sched.charge("small", 100.0)  # effective 100
+        jobs = [make_job(0, "small"), make_job(1, "big")]
+        assert order_ids(sched, jobs, now=0.0) == ["job-0001", "job-0000"]
+
+
+class TestAging:
+    def test_wait_erodes_usage(self):
+        cfg = SchedulerConfig(aging_node_s_per_s=1.0,
+                              promote_after_s=1e9)
+        sched = FairShareScheduler(cfg)
+        sched.charge("waiter", 100.0)
+        jobs = [make_job(0, "waiter", ready_s=0.0),
+                make_job(1, "fresh", ready_s=200.0)]
+        # At t=200 the waiter has 200s of aging credit against 100 usage:
+        # effective -100 < fresh's 0.
+        assert order_ids(sched, jobs, now=200.0) == ["job-0000", "job-0001"]
+
+    def test_long_wait_promotes_to_top_lane(self):
+        cfg = SchedulerConfig(promote_after_s=300.0, aging_node_s_per_s=0.0)
+        sched = FairShareScheduler(cfg)
+        jobs = [make_job(0, "u", lane="backfill", ready_s=0.0),
+                make_job(1, "u", lane="urgent", ready_s=350.0)]
+        # Before the threshold: urgent first.
+        assert order_ids(sched, jobs, now=299.0) == ["job-0001", "job-0000"]
+        # Past it: the starved backfill job outranks every lane.
+        assert order_ids(sched, jobs, now=350.0) == ["job-0000", "job-0001"]
+
+
+class TestFairShareError:
+    def test_zero_before_any_usage(self):
+        assert FairShareScheduler().fair_share_error() == 0.0
+
+    def test_perfect_split_is_zero(self):
+        sched = FairShareScheduler()
+        sched.charge("a", 50.0)
+        sched.charge("b", 50.0)
+        assert sched.fair_share_error() == pytest.approx(0.0)
+
+    def test_monopoly_measures_entitlement_gap(self):
+        sched = FairShareScheduler()
+        sched.charge("a", 100.0)
+        sched.charge("b", 0.0)
+        # a achieved 1.0 against a 0.5 entitlement.
+        assert sched.fair_share_error() == pytest.approx(0.5)
+
+    def test_weighted_entitlements(self):
+        cfg = SchedulerConfig(weights=(("a", 3.0),))
+        sched = FairShareScheduler(cfg)
+        sched.charge("a", 75.0)
+        sched.charge("b", 25.0)
+        # entitlements 3/4 and 1/4 exactly achieved.
+        assert sched.fair_share_error() == pytest.approx(0.0)

@@ -1,0 +1,190 @@
+"""End-to-end campaign orchestration: drains, restarts, determinism."""
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignService,
+    CheckpointedRuntime,
+    FairShareScheduler,
+    Job,
+    JobStore,
+    MemoryRuntime,
+    SchedulerConfig,
+    ServiceConfig,
+    SiteConfig,
+    SiteLauncher,
+    synth_campaign,
+)
+from repro.hpc import SUMMIT
+from repro.resilience import FaultPlan
+
+
+def make_site(nodes=16):
+    return SiteLauncher(SiteConfig(system=SUMMIT, nodes=nodes))
+
+
+def make_service(plan=None, runtime=None, nodes=16, **svc_kw):
+    return CampaignService(make_site(nodes), JobStore(),
+                           FairShareScheduler(SchedulerConfig()),
+                           runtime or MemoryRuntime(),
+                           ServiceConfig(**svc_kw),
+                           plan=plan)
+
+
+def train_job(i=0, **kw):
+    base = dict(job_id=f"job-{i:04d}", user=f"user{i % 2}", kind="train",
+                nodes=2, steps_total=8192, submit_s=float(i), min_nodes=1)
+    base.update(kw)
+    return Job(**base)
+
+
+def transition_log(store):
+    return [(j.job_id, [t.as_dict() for t in j.transitions]) for j in store]
+
+
+class TestFaultFree:
+    def test_synthetic_campaign_drains(self):
+        svc = make_service()
+        for job in synth_campaign(CampaignConfig(num_users=3, num_jobs=12,
+                                                 seed=0)):
+            svc.submit(job)
+        report = svc.run()
+        assert report.all_done
+        assert report.by_terminal_state == {"DONE": 12}
+        assert report.lost_jobs == [] and report.restarts == 0
+        assert report.makespan_s > 0 and 0 < report.utilization <= 1
+        assert set(report.node_seconds) == {"user0", "user1", "user2"}
+        assert 0 <= report.fair_share_error <= 1
+
+    def test_lifecycle_states_visited_in_order(self):
+        svc = make_service()
+        svc.submit(train_job(0, data_bytes=1e9))
+        svc.run()
+        job = svc.store.get("job-0000")
+        assert [t.to for t in job.transitions] == [
+            "STAGED_IN", "PREPROCESSED", "RUNNING", "RUN_DONE", "DONE"]
+        assert job.steps_done == job.steps_total
+
+    def test_dwell_medians_reported(self):
+        svc = make_service()
+        svc.submit(train_job(0, data_bytes=1e9))
+        report = svc.run()
+        assert report.dwell_median_s["RUNNING"] > 0
+        assert report.dwell_median_s["CREATED"] > 0
+
+    def test_contention_serializes_on_small_site(self):
+        # Two 2-node jobs on a 2-node site must run one after the other.
+        svc = make_service(nodes=2)
+        svc.submit(train_job(0, submit_s=0.0))
+        svc.submit(train_job(1, submit_s=0.0))
+        report = svc.run()
+        assert report.all_done
+        a = svc.store.get("job-0000")
+        b = svc.store.get("job-0001")
+        a_run = next(t.t for t in a.transitions if t.to == "RUNNING")
+        b_run = next(t.t for t in b.transitions if t.to == "RUNNING")
+        a_done = a.finished_s()
+        assert b_run >= a_done > a_run
+
+
+class TestFaultPath:
+    def test_kill_restart_resume_done(self):
+        plan = FaultPlan.parse("rank_fail@0:rank=0", seed=0)
+        # Cadence well under the run time so a checkpoint lands pre-kill.
+        svc = make_service(plan=plan, ckpt_every_s=5.0)
+        svc.submit(train_job(0, nodes=3))
+        report = svc.run(until=1e6)
+        job = svc.store.get("job-0000")
+        assert job.state == "DONE"
+        assert report.restarts == 1
+        assert report.injected.get("rank_fail") == 1
+        # Elastic shrink: relaunched on one fewer node.
+        resume_step, before, after = report.resumed["job-0000"]
+        assert (before, after) == (3, 2)
+        # MemoryRuntime checkpointed mid-run, so the restart resumed
+        # from real saved progress.
+        assert resume_step > 0
+        kinds = [t.to for t in job.transitions]
+        assert kinds == ["STAGED_IN", "PREPROCESSED", "RUNNING", "RUN_ERROR",
+                         "RESTARTING", "RUNNING", "RUN_DONE", "DONE"]
+
+    def test_restart_budget_exhausted_fails(self):
+        plan = FaultPlan.parse("rank_fail@0:rank=0", seed=0)
+        svc = make_service(plan=plan)
+        svc.submit(train_job(0, max_restarts=0))
+        report = svc.run()
+        job = svc.store.get("job-0000")
+        assert job.state == "FAILED"
+        assert job.transitions[-1].reason == "restart budget exhausted"
+        assert report.by_terminal_state == {"FAILED": 1}
+        assert not report.all_done and report.lost_jobs == []
+
+    def test_min_nodes_floors_the_shrink(self):
+        plan = FaultPlan.parse("rank_fail@0:rank=0", seed=0)
+        svc = make_service(plan=plan)
+        svc.submit(train_job(0, nodes=2, min_nodes=2))
+        report = svc.run()
+        _, before, after = report.resumed["job-0000"]
+        assert (before, after) == (2, 2)
+        assert svc.store.get("job-0000").state == "DONE"
+
+    def test_straggler_stretches_makespan(self):
+        def makespan(plan):
+            svc = make_service(plan=plan)
+            for job in synth_campaign(CampaignConfig(num_jobs=6, seed=3)):
+                svc.submit(job)
+            return svc.run().makespan_s
+
+        base = makespan(None)
+        slow = makespan(FaultPlan.parse("straggler@0:rank=0,factor=4",
+                                        seed=0))
+        assert slow > base
+
+    def test_checkpointed_runtime_resumes_from_npz(self, tmp_path):
+        plan = FaultPlan.parse("rank_fail@0:rank=0", seed=0)
+        runtime = CheckpointedRuntime(tmp_path, seed=0)
+        svc = make_service(plan=plan, runtime=runtime, ckpt_every_s=5.0)
+        svc.submit(train_job(0))
+        report = svc.run()
+        job = svc.store.get("job-0000")
+        assert job.state == "DONE"
+        resume_step, _, _ = report.resumed["job-0000"]
+        assert resume_step > 0
+        assert report.checkpoints_saved > 0
+        # Real .npz checkpoints on disk; the earlier resume point may have
+        # rotated away, but training continued past it after the restart.
+        assert list(tmp_path.glob("job-0000/ckpts/*.npz"))
+        assert runtime.resume_step(job) > resume_step
+
+
+class TestDeterminism:
+    def run_once(self, tmp_path=None):
+        plan = FaultPlan.parse("rank_fail@1:rank=0", seed=0)
+        store = (JobStore(tmp_path / "log.jsonl") if tmp_path is not None
+                 else JobStore())
+        svc = CampaignService(make_site(), store,
+                              FairShareScheduler(SchedulerConfig()),
+                              MemoryRuntime(), ServiceConfig(), plan=plan)
+        for job in synth_campaign(CampaignConfig(num_users=3, num_jobs=12,
+                                                 seed=0)):
+            svc.submit(job)
+        report = svc.run()
+        return report, transition_log(store), store
+
+    def test_identical_runs_identical_logs(self):
+        r1, log1, _ = self.run_once()
+        r2, log2, _ = self.run_once()
+        assert log1 == log2
+        assert r1.as_dict() == r2.as_dict()
+        assert r1.all_done and r1.restarts == 1
+
+    def test_persisted_log_replays_to_same_state(self, tmp_path):
+        _, live_log, store = self.run_once(tmp_path)
+        store.close()
+        reloaded = JobStore.load(tmp_path / "log.jsonl")
+        assert transition_log(reloaded) == live_log
+
+    def test_different_seed_different_campaign(self):
+        a = synth_campaign(CampaignConfig(seed=0))
+        b = synth_campaign(CampaignConfig(seed=1))
+        assert [j.spec_dict() for j in a] != [j.spec_dict() for j in b]

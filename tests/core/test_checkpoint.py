@@ -164,6 +164,23 @@ class TestCheckpointManager:
     def test_latest_empty_directory(self, tmp_path):
         assert CheckpointManager(tmp_path).latest() is None
 
+    def test_exists_and_latest_step(self, dataset, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        assert mgr.latest_step() is None
+        assert not mgr.exists(3)
+        a = make_trainer()
+        for step in (3, 41, 7):
+            mgr.save(a, step=step)
+        assert mgr.exists(3) and mgr.exists(7) and mgr.exists(41)
+        assert not mgr.exists(4)
+        assert mgr.latest_step() == 41
+
+    def test_latest_step_matches_latest_path(self, dataset, tmp_path):
+        mgr = CheckpointManager(tmp_path, prefix="run")
+        mgr.save(make_trainer(), step=12)
+        assert mgr.latest().name == "run-00000012.npz"
+        assert mgr.latest_step() == 12
+
     def test_load_without_checkpoints_raises(self, tmp_path):
         mgr = CheckpointManager(tmp_path)
         with pytest.raises(CheckpointError, match="no checkpoints"):

@@ -69,6 +69,72 @@ class TestEventQueue:
             ev.schedule_at(1.0, lambda: None)
 
 
+class TestRunBoundary:
+    """Pin run(until=..., max_events=...) edge semantics.
+
+    The campaign service tiles time with back-to-back run(until=...)
+    windows; these invariants are what make that safe.
+    """
+
+    def test_event_exactly_at_until_is_processed(self):
+        ev = EventQueue()
+        log = []
+        ev.schedule(2.0, lambda: log.append("edge"))
+        ev.run(until=2.0)
+        assert log == ["edge"]
+        assert ev.pending == 0
+
+    def test_zero_delay_at_until_processed_same_run(self):
+        # A callback firing at `until` that schedules follow-up work at
+        # zero delay must see that work happen inside the same window.
+        ev = EventQueue()
+        log = []
+
+        def outer():
+            log.append("outer")
+            ev.schedule(0.0, lambda: log.append("inner"))
+
+        ev.schedule(2.0, outer)
+        ev.run(until=2.0)
+        assert log == ["outer", "inner"]
+
+    def test_clock_lands_on_until_without_events(self):
+        ev = EventQueue()
+        ev.schedule(10.0, lambda: None)
+        assert ev.run(until=4.0) == 4.0
+        assert ev.run(until=8.0) == 8.0
+        # Windows tile: the pending event is untouched until its time.
+        assert ev.pending == 1
+        assert ev.run(until=12.0) == 12.0
+        assert ev.pending == 0
+
+    def test_max_events_stop_does_not_jump_clock(self):
+        # Stopping early on max_events must NOT advance the clock to
+        # `until`: events at or before `until` are still pending, and a
+        # clock past them would make the next run move time backwards.
+        ev = EventQueue()
+        times = []
+        for t in (1.0, 2.0, 3.0):
+            ev.schedule(t, lambda: times.append(ev.now))
+        now = ev.run(until=5.0, max_events=2)
+        assert times == [1.0, 2.0]
+        assert now == 2.0 and ev.now == 2.0
+        assert ev.pending == 1
+        # Resuming processes the leftover event at its original time.
+        assert ev.run(until=5.0) == 5.0
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_max_events_counts_lifetime_not_per_run(self):
+        ev = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            ev.schedule(t, lambda: None)
+        ev.run(max_events=2)
+        ev.run(max_events=2)   # budget already exhausted: no-op
+        assert ev.processed == 2
+        ev.run(max_events=3)
+        assert ev.processed == 3
+
+
 class TestGpuSpecs:
     def test_v100_paper_peaks(self):
         # "each Volta GPU can perform 125 trillion floating-point operations

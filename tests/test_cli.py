@@ -85,6 +85,57 @@ class TestCli:
         assert (out / "ckpts").exists()
         assert (out / "metrics.txt").exists()
 
+    def test_campaign_drill_restarts_and_drains(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "campaign_out"
+        # The ISSUE acceptance drill: a seeded 3-user campaign with one
+        # mid-run kill; the killed job must restart from its checkpoint on
+        # fewer nodes and the whole campaign must drain to DONE.
+        assert main(["campaign", "--users", "3", "--jobs", "12",
+                     "--plan", "rank_fail@1:rank=0", "--json",
+                     "--out", str(out)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["all_done"] is True
+        assert doc["by_terminal_state"] == {"DONE": 12}
+        assert doc["lost_jobs"] == []
+        assert doc["injected"]["rank_fail"] == 1
+        assert doc["restarts"] == 1
+        (resumed,) = doc["resumed"].values()
+        assert resumed["resume_step"] > 0
+        assert resumed["nodes_after"] == resumed["nodes_before"] - 1
+        assert doc["fair_share_error"] <= 0.25
+        assert 0 < doc["utilization"] <= 1
+        # Persisted artifacts: JSONL log, report, trace, real checkpoints.
+        assert (out / "campaign.jsonl").exists()
+        assert json.loads((out / "report.json").read_text()) == doc
+        trace = json.loads((out / "trace.json").read_text())
+        names = {r.get("name") for r in trace["traceEvents"]}
+        assert {"stage_in", "job_run", "job_restart"} <= names
+        assert list(out.glob("jobs/*/ckpts/*.npz"))
+
+    def test_campaign_drill_is_deterministic(self, capsys):
+        import json
+
+        argv = ["campaign", "--users", "2", "--jobs", "6", "--json",
+                "--plan", "rank_fail@1:rank=0", "--seed", "7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert json.loads(first)["all_done"] is True
+
+    def test_campaign_text_report(self, capsys):
+        assert main(["campaign", "--users", "2", "--jobs", "4"]) == 0
+        printed = capsys.readouterr().out
+        assert "Campaign drill" in printed
+        assert "fair-share error" in printed
+        assert "campaign OK" in printed
+
+    def test_campaign_rejects_bad_args(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--users", "0"])
+
     def test_trace_json_mode_merges_serve_and_matches_messages(self, capsys,
                                                                tmp_path):
         import json
