@@ -666,6 +666,7 @@ def _cmd_serve(args) -> int:
     import numpy as np
 
     from .core.networks import Tiramisu, TiramisuConfig
+    from .errors import ReproError
     from .perf import format_table
     from .resilience import FaultPlan
     from .serve import (FixedServiceTime, InferenceServer, ServeConfig,
@@ -704,11 +705,19 @@ def _cmd_serve(args) -> int:
             rng=np.random.default_rng(args.seed))
 
     tel = Telemetry()
+    error = None
     with activate(tel):
         server = InferenceServer(factory, config, plan=plan,
                                  service_model=service,
                                  model_key=f"tiramisu-seed{args.seed}")
-        responses = server.serve(synth_workload(workload))
+        try:
+            responses = server.serve(synth_workload(workload))
+        except ReproError as exc:
+            # The failure path must still leave a machine-readable trail:
+            # --json consumers (the CI smoke job) parse the report and
+            # exit code, never a traceback.
+            error = repr(exc)
+            responses = []
         report = summarize(responses, server)
     if args.out:
         out = Path(args.out)
@@ -718,7 +727,12 @@ def _cmd_serve(args) -> int:
         if not args.json:
             print(f"wrote {trace_path}")
     if args.json:
-        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+        doc = report.as_dict()
+        if error is not None:
+            doc["error"] = error
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    elif error is not None:
+        print(f"serve failed: {error}")
     else:
         sheds = ", ".join(f"{k}={v}"
                           for k, v in sorted(report.shed_by_reason.items()))
@@ -746,7 +760,126 @@ def _cmd_serve(args) -> int:
         print(format_table(["metric", "value"], rows,
                            title=f"Serving drill - {args.requests} requests, "
                                  f"{args.replicas} replicas, seed {args.seed}"))
-    return 0 if report.lost_admitted == 0 else 1
+    return 0 if report.lost_admitted == 0 and error is None else 1
+
+
+def _cmd_fleet(args) -> int:
+    """Fleet drill: a seeded diurnal+burst replay through the serve fleet.
+
+    Generates a columnar replay (~10^6 virtual requests by default in CI,
+    smaller interactively), serves it through the autoscaled, consistent-
+    hash-sharded multi-cell fleet, and prints the end-of-run report:
+    served/shed/spilled, warm-tile hit rate, scale events with measured
+    key-remap fractions and hit-rate recovery, autoscaler decisions, and
+    fleet health alerts.  ``--plan`` injects replica kills mid-replay
+    (``rank`` = global replica id, ``step`` = virtual seconds); ``--out``
+    persists the Chrome trace and report JSON; ``--json`` emits the
+    machine-readable report the CI smoke job asserts on.  Exit code 1 if
+    any admitted request was lost or failed (the fleet invariant).
+    """
+    import json
+    from pathlib import Path
+
+    from .perf import format_table
+    from .resilience import FaultPlan
+    from .serve import (FleetConfig, FleetServer, ReplayConfig,
+                        replay_workload, summarize_fleet)
+    from .serve.fleet import AutoscalerConfig
+    from .telemetry import SimulatedClock, Telemetry, activate, \
+        write_chrome_trace
+
+    if args.requests < 1 or args.replicas < 1:
+        raise SystemExit("fleet: --requests and --replicas must be >= 1")
+    cells = tuple(c.strip() for c in args.cells.split(",") if c.strip())
+    if not cells:
+        raise SystemExit("fleet: --cells must name at least one cell")
+    bursts = []
+    if args.bursts:
+        for item in args.bursts.split(","):
+            parts = item.split(":")
+            if len(parts) != 3:
+                raise SystemExit("fleet: --bursts items must be "
+                                 "start:duration:multiplier")
+            bursts.append(tuple(float(p) for p in parts))
+    replay_cfg = ReplayConfig(
+        num_requests=args.requests, duration_s=args.duration,
+        cells=cells, bursts=tuple(bursts), snapshot_pool=args.pool,
+        windows=args.windows, seed=args.seed)
+    autoscaler = None if args.no_autoscale else AutoscalerConfig(
+        min_replicas=args.min_replicas, max_replicas=args.max_replicas)
+    fleet_cfg = FleetConfig(
+        cells=cells, initial_replicas=args.replicas,
+        slo_s=(("interactive", args.slo_ms / 1e3),) if args.slo_ms else (),
+        cache_budget_bytes=args.cache_mb << 20,
+        sharded=not args.unsharded, spillover=not args.no_spillover,
+        autoscaler=autoscaler)
+    plan = FaultPlan.parse(args.plan, seed=args.seed) if args.plan else None
+
+    clock = SimulatedClock()
+    tel = Telemetry(clock=clock)
+    with activate(tel):
+        server = FleetServer(fleet_cfg, clock=clock, plan=plan)
+        replay = replay_workload(replay_cfg)
+        result = server.run(replay)
+        report = summarize_fleet(result, server, replay)
+
+    fired = len(tel.health.alerts) if tel.health else 0
+    resolved = len(tel.health.resolved()) if tel.health else 0
+    doc = report.as_dict()
+    doc["seed"] = args.seed
+    doc["plan"] = plan.describe() if plan else None
+    doc["alerts_fired"] = fired
+    doc["alerts_resolved"] = resolved
+    if tel.health is not None:
+        doc["health"] = tel.health.report()
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        trace_path = out / "trace.json"
+        write_chrome_trace(trace_path, tel.tracer.spans())
+        report_path = out / "fleet_report.json"
+        report_path.write_text(json.dumps(doc, indent=1, sort_keys=True))
+        doc["trace"] = str(trace_path)
+        if not args.json:
+            print(f"wrote {trace_path}")
+            print(f"wrote {report_path}")
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        sheds = ", ".join(f"{k}={v}"
+                          for k, v in sorted(report.shed_by_reason.items()))
+        rows = [
+            ["offered", str(report.offered)],
+            ["served", str(report.served)],
+            ["shed", f"{report.shed}" + (f" ({sheds})" if sheds else "")],
+            ["spilled", str(report.spilled)],
+            ["failed", str(report.failed)],
+            ["lost admitted", str(report.lost_admitted)],
+            ["throughput", f"{report.throughput_rps:,.1f} req/s"],
+            ["hit rate", f"{report.hit_rate * 100:.1f}%"],
+            ["retries", str(report.retries)],
+            ["scale events", f"{len(report.scale_events)} "
+                             f"({report.autoscaler['grows']} grow, "
+                             f"{report.autoscaler['shrinks']} shrink)"],
+            ["alerts", f"{fired} fired, {resolved} resolved"],
+        ]
+        for name, cell in sorted(report.cells.items()):
+            rows.append([f"cell {name}",
+                         f"{cell['served']} served, "
+                         f"{cell['replicas']} replicas, "
+                         f"hit {cell['hit_rate'] * 100:.1f}%, "
+                         f"out {cell['spilled_out']} / "
+                         f"in {cell['spilled_in']} spilled"])
+        for e in report.scale_events:
+            rec = "-" if e.recovered_s is None else f"{e.recovered_s:.0f}s"
+            rows.append([f"{e.kind} @{e.t:.0f}s {e.cell}",
+                         f"replica {e.replica} -> {e.replicas_after} live, "
+                         f"remap {e.remap_fraction * 100:.1f}%, "
+                         f"recovered {rec}"])
+        print(format_table(["metric", "value"], rows,
+                           title=f"Fleet drill - {args.requests} requests, "
+                                 f"{len(cells)} cells, seed {args.seed}"))
+    return 0 if report.lost_admitted == 0 and report.failed == 0 else 1
 
 
 def _cmd_campaign(args) -> int:
@@ -1092,6 +1225,50 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--out", default="",
                     help="directory for the Chrome trace (optional)")
     pv.set_defaults(fn=_cmd_serve)
+
+    pf = sub.add_parser(
+        "fleet",
+        help="fleet drill: diurnal+burst replay through the autoscaled, "
+             "sharded serve fleet")
+    pf.add_argument("--requests", type=int, default=100_000,
+                    help="virtual requests in the replay")
+    pf.add_argument("--duration", type=float, default=300.0,
+                    help="replay horizon in virtual seconds")
+    pf.add_argument("--cells", default="east,west",
+                    help="comma-separated cell names")
+    pf.add_argument("--replicas", type=int, default=2,
+                    help="initial replicas per cell")
+    pf.add_argument("--min-replicas", type=int, default=1)
+    pf.add_argument("--max-replicas", type=int, default=16)
+    pf.add_argument("--bursts", default="",
+                    help="overload windows as start:duration:multiplier"
+                         "[,...] in virtual seconds")
+    pf.add_argument("--pool", type=int, default=5000,
+                    help="distinct snapshot keys (Zipf-popular)")
+    pf.add_argument("--windows", type=int, default=4,
+                    help="tile windows per request")
+    pf.add_argument("--slo-ms", type=float, default=250.0,
+                    help="interactive-lane estimated-wait budget; "
+                         "0 disables SLO spillover/shedding")
+    pf.add_argument("--cache-mb", type=int, default=4,
+                    help="per-replica tile-cache budget in MiB")
+    pf.add_argument("--unsharded", action="store_true",
+                    help="least-loaded routing instead of the hash ring "
+                         "(ablation)")
+    pf.add_argument("--no-spillover", action="store_true",
+                    help="disable cross-cell spillover")
+    pf.add_argument("--no-autoscale", action="store_true",
+                    help="pin every cell at --replicas")
+    pf.add_argument("--plan", default="",
+                    help="fault schedule, e.g. 'rank_fail@120:rank=1' "
+                         "(rank = global replica id, step = virtual "
+                         "seconds)")
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--json", action="store_true",
+                    help="emit the report as JSON (CI smoke job)")
+    pf.add_argument("--out", default="",
+                    help="directory for the Chrome trace + report JSON")
+    pf.set_defaults(fn=_cmd_fleet)
 
     pg = sub.add_parser(
         "campaign",

@@ -14,15 +14,37 @@ concurrent clients with the throughput tricks that make it affordable:
   depth backpressure, and estimated-wait load shedding;
 * a discrete-event **server** (:mod:`.server`) on the telemetry
   :class:`~repro.telemetry.SimulatedClock`, plus a seeded synthetic
-  **load generator** (:mod:`.loadgen`).
+  **load generator** (:mod:`.loadgen`);
+* an autoscaling, sharded **fleet** layer (:mod:`.fleet`) — cells of
+  consistent-hash-sharded replicas, telemetry-driven scaling, cross-cell
+  SLO spillover, and a columnar million-request replay format.
 
 Entry points: build an :class:`InferenceServer`, feed it requests from
 :func:`synth_workload` (or your own), and fold the responses with
-:func:`summarize`.  ``repro serve`` wraps exactly that.
+:func:`summarize`; or build a :class:`FleetServer` over a
+:func:`replay_workload` stream and fold with :func:`summarize_fleet`.
+``repro serve`` and ``repro fleet`` wrap exactly that.
 """
 from .batcher import BatchPolicy, MicroBatcher
 from .cache import CacheStats, TileCache
-from .loadgen import WorkloadConfig, synth_workload
+from .fleet import (
+    Autoscaler,
+    AutoscalerConfig,
+    FleetConfig,
+    FleetReplica,
+    FleetReport,
+    FleetRequest,
+    FleetResult,
+    FleetServer,
+    HashRing,
+    Replay,
+    ScaleDecision,
+    ScaleEventRecord,
+    remap_fraction,
+    summarize_fleet,
+)
+from .loadgen import ReplayConfig, WorkloadConfig, replay_workload, \
+    synth_workload
 from .queue import AdmissionConfig, AdmissionController, RequestQueue
 from .replica import BatchResult, Replica, ReplicaPool
 from .request import DEFAULT_LANES, InferenceRequest, InferenceResponse
@@ -55,4 +77,20 @@ __all__ = [
     "InferenceServer",
     "ServeReport",
     "summarize",
+    "ReplayConfig",
+    "replay_workload",
+    "HashRing",
+    "remap_fraction",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScaleDecision",
+    "FleetConfig",
+    "FleetRequest",
+    "FleetReplica",
+    "FleetServer",
+    "FleetReport",
+    "FleetResult",
+    "Replay",
+    "ScaleEventRecord",
+    "summarize_fleet",
 ]

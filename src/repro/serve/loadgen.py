@@ -7,6 +7,17 @@ has real redundancy to exploit.  Everything derives from one
 ``numpy.random.default_rng(seed)`` stream, so a (config, seed) pair
 always yields byte-identical requests — the property the CLI, the CI
 smoke job, and ``bench_serving`` all lean on.
+
+Two generators live here:
+
+* :func:`synth_workload` — per-request python objects with real image
+  payloads, feeding :class:`~repro.serve.InferenceServer` (hundreds to
+  thousands of requests);
+* :func:`replay_workload` — the fleet-scale path: a columnar
+  :class:`~repro.serve.fleet.Replay` of ~10^6 virtual requests with a
+  diurnal rate curve, square-wave bursts, Zipf-skewed key popularity,
+  and weighted lane/cell assignment, all built with vectorized numpy so
+  a million requests materialise in well under a second.
 """
 from __future__ import annotations
 
@@ -14,9 +25,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .fleet.fleet import Replay
 from .request import DEFAULT_LANES, InferenceRequest
 
-__all__ = ["WorkloadConfig", "synth_workload"]
+__all__ = ["WorkloadConfig", "synth_workload",
+           "ReplayConfig", "replay_workload"]
 
 
 @dataclass(frozen=True)
@@ -65,3 +78,104 @@ def synth_workload(config: WorkloadConfig) -> list[InferenceRequest]:
         requests.append(InferenceRequest(
             request_id=rid, image=image, lane=lane, arrival_s=t))
     return requests
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Shape of one fleet-scale replay (diurnal + burst traffic)."""
+
+    num_requests: int = 1_000_000
+    duration_s: float = 600.0
+    cells: tuple[str, ...] = ("cell0",)
+    cell_weights: tuple[float, ...] | None = None    # default uniform
+    lanes: tuple[str, ...] = DEFAULT_LANES
+    lane_weights: tuple[float, ...] = (0.5, 0.5)
+    #: Peak-to-mean swing of the sinusoidal "day": 0 flat, 0.6 means the
+    #: trough runs at 40% of mean rate and the peak at 160%.
+    diurnal_amplitude: float = 0.6
+    diurnal_period_s: float | None = None   # default: one "day" = duration_s
+    #: Square-wave overload windows: (start_s, duration_s, rate_multiplier).
+    bursts: tuple[tuple[float, float, float], ...] = ()
+    snapshot_pool: int = 5000       # distinct content keys
+    zipf_exponent: float = 1.1      # key popularity skew (cache redundancy)
+    windows: int = 4                # tile windows per request
+    seed: int = 0
+    start_s: float = 0.0
+
+    def __post_init__(self):
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not self.cells:
+            raise ValueError("cells must be non-empty")
+        if self.cell_weights is not None \
+                and len(self.cell_weights) != len(self.cells):
+            raise ValueError("cell_weights must match cells")
+        if len(self.lane_weights) != len(self.lanes):
+            raise ValueError("lane_weights must match lanes")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        for start, dur, mult in self.bursts:
+            if dur <= 0 or mult <= 0:
+                raise ValueError("burst duration and multiplier must be > 0")
+        if self.snapshot_pool < 1 or self.windows < 1:
+            raise ValueError("snapshot_pool and windows must be >= 1")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be >= 0")
+
+    @property
+    def mean_rate_rps(self) -> float:
+        return self.num_requests / self.duration_s
+
+
+def _rate_profile(config: ReplayConfig, bins: int = 4096) -> np.ndarray:
+    """Relative arrival intensity per time bin over the replay horizon."""
+    period = config.diurnal_period_s or config.duration_s
+    centers = (np.arange(bins) + 0.5) * (config.duration_s / bins)
+    # Trough at t=0 so a replay starts quiet and climbs into the "day".
+    rate = 1.0 + config.diurnal_amplitude * np.sin(
+        2.0 * np.pi * centers / period - np.pi / 2.0)
+    for start, dur, mult in config.bursts:
+        rate[(centers >= start) & (centers < start + dur)] *= mult
+    return rate
+
+
+def replay_workload(config: ReplayConfig) -> Replay:
+    """Materialise the columnar replay described by ``config``.
+
+    Arrivals are drawn by inverse-CDF sampling of the diurnal+burst
+    intensity profile — exactly ``num_requests`` arrivals whose density
+    follows the profile, fully vectorized, no per-request python loop.
+    """
+    rng = np.random.default_rng(config.seed)
+    profile = _rate_profile(config)
+    cdf = np.cumsum(profile)
+    cdf = cdf / cdf[-1]
+    bin_w = config.duration_s / len(profile)
+    u = rng.random(config.num_requests)
+    idx = np.searchsorted(cdf, u, side="left")
+    lo = np.concatenate(([0.0], cdf[:-1]))[idx]
+    frac = (u - lo) / np.maximum(cdf[idx] - lo, 1e-300)
+    arrival = config.start_s + (idx + frac) * bin_w
+    arrival.sort()
+
+    ranks = np.arange(1, config.snapshot_pool + 1, dtype=np.float64)
+    pop = ranks ** -config.zipf_exponent
+    pop /= pop.sum()
+    keys = rng.choice(config.snapshot_pool, size=config.num_requests,
+                      p=pop).astype(np.int64)
+
+    lane_w = np.asarray(config.lane_weights, dtype=np.float64)
+    lanes = rng.choice(len(config.lanes), size=config.num_requests,
+                       p=lane_w / lane_w.sum()).astype(np.int16)
+    if config.cell_weights is not None:
+        cell_w = np.asarray(config.cell_weights, dtype=np.float64)
+        cell_w = cell_w / cell_w.sum()
+    else:
+        cell_w = np.full(len(config.cells), 1.0 / len(config.cells))
+    cells = rng.choice(len(config.cells), size=config.num_requests,
+                       p=cell_w).astype(np.int16)
+    windows = np.full(config.num_requests, config.windows, dtype=np.int16)
+    return Replay(arrival_s=arrival, key=keys, lane=lanes, cell=cells,
+                  windows=windows, lanes=config.lanes, cells=config.cells)

@@ -353,7 +353,12 @@ def summarize(responses: list[InferenceResponse],
         served=len(served), shed=len(shed), failed=len(failed),
         shed_by_reason=shed_by_reason,
         lanes=lanes, makespan_s=makespan, throughput_rps=throughput,
-        cache=server.cache.stats.as_dict() if server.cache else None,
+        # `is not None`, not truthiness: TileCache defines __len__, so a
+        # cache that never got a put (e.g. every request shed) is falsy
+        # and would report "no cache configured" on exactly the failure
+        # paths where the stats matter.
+        cache=(server.cache.stats.as_dict()
+               if server.cache is not None else None),
         replica_failures=len(pool.dead_ids),
         dispatch_retries=server.total_retries,
         batches=server.batcher.batches_formed,

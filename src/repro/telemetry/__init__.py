@@ -37,7 +37,8 @@ from .metrics import (
     series_key,
 )
 from .distributed import CrossRankTrace, MessageLink, StepBreakdown
-from .health import Alert, HealthEngine, HealthRule, default_health_rules
+from .health import (Alert, HealthEngine, HealthRule, default_health_rules,
+                     fleet_health_rules)
 from .session import DISABLED, Telemetry, activate, get_active, set_active
 from .streaming import Ewma, StreamingAggregator, WindowSummary
 from .tracer import NULL_SPAN, Span, Tracer, traced
@@ -53,6 +54,7 @@ __all__ = [
     "HealthRule",
     "Alert",
     "default_health_rules",
+    "fleet_health_rules",
     "Telemetry",
     "activate",
     "get_active",

@@ -41,7 +41,7 @@ import numpy as np
 from .streaming import StreamingAggregator, WindowSummary
 
 __all__ = ["HealthRule", "Alert", "HealthEngine", "default_health_rules",
-           "SEVERITIES"]
+           "fleet_health_rules", "SEVERITIES"]
 
 SEVERITIES = ("info", "warning", "critical")
 
@@ -405,4 +405,53 @@ def default_health_rules(step_time_slo_s: float = 2.0,
             kind="threshold", stat="total", op=">", value=0.0,
             severity="warning",
             description="admission control is shedding serve requests"),
+    ]
+
+
+def fleet_health_rules(backlog_windows_warn: float = 200.0
+                       ) -> list[HealthRule]:
+    """Rules covering the autoscaled serve fleet (``repro.serve.fleet``).
+
+    The fleet publishes per-cell gauges every control tick, so the
+    gauge-backed rules here both fire *and* resolve deterministically:
+    ``fleet_cell_shrunk`` (rate-of-change on the replica count) breaches
+    exactly on the tick a kill or scale-in lands and is OK again one
+    tick later, and ``fleet_queue_backlog`` clears as soon as a burst
+    drains.  Counter-backed rules (shedding, spillover) fire on the
+    window where the event happened.
+    """
+    return [
+        HealthRule(
+            name="fleet_queue_backlog",
+            series="fleet.queue_windows{cell=*}",
+            kind="threshold", stat="last", op=">",
+            value=backlog_windows_warn, severity="warning",
+            for_windows=2, resolve_windows=2,
+            description="a cell's queued tile-window backlog is deep "
+                        "enough to blow the drain horizon"),
+        HealthRule(
+            name="fleet_shedding", series="fleet.shed*",
+            kind="threshold", stat="total", op=">", value=0.0,
+            severity="warning",
+            description="a cell is refusing requests (queue_full or SLO "
+                        "shed) — every cell is out of budget"),
+        HealthRule(
+            name="fleet_spillover", series="fleet.spillover*",
+            kind="threshold", stat="total", op=">", value=0.0,
+            severity="info",
+            description="a cell is routing overload to remote cells "
+                        "(degraded locality, not refusals)"),
+        HealthRule(
+            name="fleet_cell_shrunk", series="fleet.replicas{cell=*}",
+            kind="rate_of_change", stat="last", op="<", value=0.0,
+            severity="critical",
+            description="a cell lost replicas (injected kill or "
+                        "autoscaler scale-in)"),
+        HealthRule(
+            name="fleet_hit_rate_anomaly",
+            series="fleet.cache.hit_rate{cell=*}",
+            kind="ewma_anomaly", sigma=4.0, warmup=5, severity="info",
+            resolve_windows=2,
+            description="a cell's warm-tile hit rate departs its EWMA "
+                        "baseline (cold caches after a scale event)"),
     ]

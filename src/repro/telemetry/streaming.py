@@ -274,6 +274,18 @@ class StreamingAggregator:
 
     # -- subscriptions -------------------------------------------------------
 
+    def tick(self, registry: MetricsRegistry | dict,
+             t: float | None = None) -> list[WindowSummary]:
+        """One control-loop beat: :meth:`sample` then :meth:`advance`.
+
+        The shape every periodic consumer wants (the fleet's control
+        tick, test harnesses): fold the registry's current state into
+        the stream, then close every window the clock has passed —
+        returning the newly closed summaries.
+        """
+        self.sample(registry, t=t)
+        return self.advance(t)
+
     def subscribe(self, pattern: str, fn) -> int:
         """Call ``fn(summary)`` for every closed window matching ``pattern``.
 

@@ -324,3 +324,67 @@ class TestServeCli:
     def test_serve_validates_arguments(self):
         with pytest.raises(SystemExit):
             main(["serve", "--requests", "0"])
+
+    def test_serve_json_valid_on_total_loss(self, capsys):
+        # Regression: killing the only replica used to short-circuit the
+        # JSON emitter (falsy empty TileCache + an escaping ReproError),
+        # so automation got a traceback instead of a document.  The shed
+        # / lost-request failure path must still print valid JSON.
+        import json
+
+        code = main(["serve", "--requests", "16", "--rate", "1000",
+                     "--replicas", "1", "--service-ms", "0.5",
+                     "--channels", "2", "--seed", "3",
+                     "--plan", "rank_fail@0:rank=0", "--json"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["alive_replicas"] == []
+        assert doc["cache"] is not None
+        assert "hit_rate" in doc["cache"]
+
+
+class TestFleetCli:
+    """The ``repro fleet`` drill end-to-end through the CLI."""
+
+    FAST = ["--requests", "4000", "--duration", "60", "--replicas", "2",
+            "--max-replicas", "6", "--bursts", "20:10:3", "--seed", "4"]
+
+    def test_fleet_table_output(self, capsys):
+        assert main(["fleet", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet drill" in out
+        assert "lost admitted" in out
+        assert "east" in out and "west" in out
+
+    def test_fleet_json_burst_and_kill(self, capsys, tmp_path):
+        import json
+
+        assert main(["fleet", *self.FAST,
+                     "--plan", "rank_fail@25:rank=0",
+                     "--json", "--out", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["offered"] == 4000
+        assert doc["lost_admitted"] == 0
+        assert doc["failed"] == 0
+        kinds = [e["kind"] for e in doc["scale_events"]]
+        assert "kill" in kinds
+        # The replica loss fires a health alert that later resolves.
+        assert doc["alerts_resolved"] >= 1
+        assert (tmp_path / "trace.json").exists()
+        report = json.loads((tmp_path / "fleet_report.json").read_text())
+        assert report["offered"] == doc["offered"]
+
+    def test_fleet_is_deterministic(self, capsys):
+        import json
+
+        docs = []
+        for _ in range(2):
+            assert main(["fleet", *self.FAST, "--json"]) == 0
+            docs.append(json.loads(capsys.readouterr().out))
+        assert docs[0] == docs[1]
+
+    def test_fleet_validates_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--requests", "0"])
+        with pytest.raises(SystemExit):
+            main(["fleet", "--bursts", "nonsense"])
